@@ -1,0 +1,27 @@
+"""Figure 2 — Stencil3D on HBM vs DDR4 when the working set fits in HBM.
+
+Paper claim: "the performance on HBM is 3X higher than on DDR4, when the
+working set fits within HBM" — measured on compute-kernel time.  Our
+fluid model yields the STREAM bandwidth ratio (~4.7x) for fully
+memory-bound kernels; the assertion window accepts the 3-5x band and
+EXPERIMENTS.md discusses the difference.
+"""
+
+from repro.bench.experiments import fig2_stencil_fits_in_hbm
+from repro.bench.report import render_experiment
+
+
+def test_fig2_stencil_fits_in_hbm(benchmark, scale):
+    result = benchmark.pedantic(fig2_stencil_fits_in_hbm,
+                                kwargs={"scale": scale},
+                                rounds=1, iterations=1)
+    print("\n" + render_experiment(result))
+
+    kernel = result.series["compute kernel time"]
+    total = result.series["total time"]
+    ratio = kernel["DDR4"] / kernel["HBM"]
+    # the paper's Figure 2 shape: HBM several times faster
+    assert 2.5 < ratio < 5.5, f"kernel-time ratio {ratio:.2f} out of band"
+    # total time shows the same ordering
+    assert total["DDR4"] > total["HBM"]
+    assert result.notes["kernel_slowdown_on_ddr4"] == round(ratio, 2)

@@ -1,0 +1,24 @@
+"""Figure 5 — Projections: wait time, single vs multiple IO threads.
+
+Paper claim: "single IO thread has a lot more overhead (red) than multiple
+IO threads case" on out-of-core Stencil3D.
+"""
+
+from repro.bench.experiments import fig5_projections_wait
+from repro.bench.report import render_experiment
+
+
+def test_fig5_projections_wait(benchmark, scale):
+    result = benchmark.pedantic(fig5_projections_wait,
+                                kwargs={"scale": scale},
+                                rounds=1, iterations=1)
+    print("\n" + render_experiment(result))
+
+    wait = result.series["wait fraction"]
+    util = result.series["utilization"]
+    single, multi = wait["Single IO thread"], wait["Multiple IO threads"]
+    # the 'red portion' dominates with a single IO thread
+    assert single > 2 * multi, (
+        f"single-IO wait {single:.2%} not >> multi-IO wait {multi:.2%}")
+    assert single > 0.5
+    assert util["Multiple IO threads"] > util["Single IO thread"]

@@ -1,0 +1,25 @@
+"""Figure 6 — synchronous vs asynchronous data fetch.
+
+Paper claim: "the preprocessing time before compute kernels which is of
+order of 20 ms is removed from asynchronous scheduling" — the no-IO-thread
+strategy charges a visible per-task fetch to the worker, the multi-IO
+strategy hides it.
+"""
+
+from repro.bench.experiments import fig6_sync_vs_async
+from repro.bench.report import render_experiment
+
+
+def test_fig6_sync_vs_async(benchmark, scale):
+    result = benchmark.pedantic(fig6_sync_vs_async,
+                                kwargs={"scale": scale},
+                                rounds=1, iterations=1)
+    print("\n" + render_experiment(result))
+
+    per_task = result.series["preprocess per task"]
+    sync = per_task["Synchronous (no IO thread)"]
+    async_ = per_task["Asynchronous (multi IO threads)"]
+    # synchronous pre-processing is visible per task...
+    assert sync > 1e-4, f"sync preprocess {sync * 1e3:.3f} ms/task too small"
+    # ...and the asynchronous strategy removes (hides) it from the worker
+    assert async_ == 0.0

@@ -1,0 +1,30 @@
+"""Figure 7 — memcpy cost for data migration under 64-thread stress.
+
+Paper claims: migration cost grows with the data size moved; "memcpy costs
+for HBM to DDR4 [are] slightly higher" than DDR4 to HBM (the DDR4 write
+port is the weaker link).
+"""
+
+import pytest
+
+from repro.bench.experiments import fig7_memcpy_cost
+from repro.bench.report import render_experiment
+
+
+def test_fig7_memcpy_cost(benchmark, scale):
+    result = benchmark.pedantic(fig7_memcpy_cost,
+                                kwargs={"scale": scale},
+                                rounds=1, iterations=1)
+    print("\n" + render_experiment(result))
+
+    labels = list(result.series)
+    d2h = [result.series[l]["ddr-to-hbm"] for l in labels]
+    h2d = [result.series[l]["hbm-to-ddr"] for l in labels]
+
+    # cost grows monotonically with the amount moved
+    assert d2h == sorted(d2h)
+    assert h2d == sorted(h2d)
+    # HBM -> DDR4 is slightly costlier at every size
+    for a, b, l in zip(d2h, h2d, labels):
+        assert b > a, f"{l}: HBM->DDR ({b:.4f}s) not above DDR->HBM ({a:.4f}s)"
+        assert b / a == pytest.approx(90 / 80, rel=0.15)  # port ratio

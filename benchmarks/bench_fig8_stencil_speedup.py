@@ -1,0 +1,31 @@
+"""Figure 8 — Stencil3D speedup from data movement, vs the Naive baseline.
+
+Paper shape (total WS 32 GB, reduced WS 2/4/8 GB, 20 iterations):
+
+* DDR4-only lands below 1 (HBM matters);
+* Single IO thread is *significantly slower than Naive* ("it fetches data
+  for at least one chare per PE, for all PEs, before scheduling");
+* No IO thread improves on Naive;
+* Multiple IO threads is best, up to ~2x.
+"""
+
+from repro.bench.experiments import fig8_stencil_speedup
+from repro.bench.report import render_experiment
+
+
+def test_fig8_stencil_speedup(benchmark, scale):
+    result = benchmark.pedantic(fig8_stencil_speedup,
+                                kwargs={"scale": scale, "iterations": 5},
+                                rounds=1, iterations=1)
+    print("\n" + render_experiment(result))
+
+    for rws, row in result.series.items():
+        assert row["DDR4only"] < 1.0, f"{rws}: DDR4-only should lose to Naive"
+        assert row["Single IO thread"] < 1.0, (
+            f"{rws}: single IO thread must be slower than Naive")
+        assert row["No IO thread"] > 1.2, f"{rws}: no-IO should beat Naive"
+        assert row["Multiple IO threads"] > 1.5, (
+            f"{rws}: multi-IO should approach ~2x")
+        # strategy ordering of the paper's bars
+        assert (row["Multiple IO threads"] > row["Single IO thread"])
+        assert (row["No IO thread"] > row["Single IO thread"])

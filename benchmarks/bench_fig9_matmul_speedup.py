@@ -1,0 +1,60 @@
+"""Figure 9 — MatMul speedup from data movement, vs the Naive baseline.
+
+Paper shape (total WS 24/36/54 GB, reduced WS held ~constant by the
+decomposition):
+
+* DDR4-only well below 1;
+* the prefetch strategies are comparable to each other ("Single IO thread
+  performs as well as Multiple IO threads, due to high data reuse of
+  read-only data blocks") and their advantage over Naive *grows* with the
+  total working set (more of Naive's shared panels spill to DDR4).
+
+Model caveat (see EXPERIMENTS.md): panel residency is what protects the
+single-IO thread; once A+B no longer fits in HBM its serial memcpy pipe
+becomes a real bottleneck, so at the largest size the single-IO bar may
+trail the parallel-fetch strategies in our reproduction.
+"""
+
+from repro.bench.experiments import fig9_matmul_speedup
+from repro.bench.harness import Scale
+from repro.bench.report import render_experiment
+
+
+def test_fig9_matmul_speedup(benchmark, scale):
+    # MatMul's chare count grows ~linearly with capacity (G^2 with
+    # G = N/b and N ~ sqrt(WS)); at SMALL scale the 54 GB point is ~16k
+    # chares and minutes of wall time, so the default drops to TINY.
+    if scale is Scale.SMALL:
+        scale = Scale.TINY
+    elif scale is Scale.FULL:
+        scale = Scale.MEDIUM
+    result = benchmark.pedantic(
+        fig9_matmul_speedup,
+        kwargs={"scale": scale},
+        rounds=1, iterations=1)
+    print("\n" + render_experiment(result))
+
+    labels = list(result.series)          # "24GB", "36GB", "54GB"
+    first, last = result.series[labels[0]], result.series[labels[-1]]
+
+    for ws, row in result.series.items():
+        assert row["DDR4only"] < 0.8, f"{ws}: DDR4-only should lose clearly"
+        # no prefetch strategy collapses below Naive by much: the reuse
+        # machinery keeps shared panels resident for all of them
+        assert row["Single IO thread"] > 0.7
+        assert row["No IO thread"] > 0.9
+
+    # the paper's headline: the prefetch advantage over Naive grows with
+    # the total working set, reaching ~2x
+    assert last["Multiple IO threads"] > first["Multiple IO threads"]
+    assert last["Multiple IO threads"] > 1.8
+
+    # single-IO exceeds parity once panels spill in Naive (the read-only
+    # reuse effect that lets one memcpy thread keep up)
+    assert result.series[labels[1]]["Single IO thread"] > 1.0
+
+    # at the fits-in-HBM end the strategies are comparable (paper claim);
+    # at the largest size our model diverges (documented in EXPERIMENTS.md)
+    m0, n0 = first["Multiple IO threads"], first["No IO thread"]
+    assert abs(n0 - m0) / m0 < 0.2, (
+        f"{labels[0]}: no-IO {n0:.2f} vs multi-IO {m0:.2f} diverge")

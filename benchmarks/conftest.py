@@ -1,0 +1,29 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+Each ``bench_fig*.py`` regenerates one figure of the paper's evaluation
+section via :mod:`repro.bench.experiments`, asserts the paper's *shape*
+claims (who wins, roughly by how much), and prints the regenerated series
+so ``pytest benchmarks/ --benchmark-only -s`` reproduces the tables in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench.harness import Scale
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale", default="small",
+        choices=["small", "medium", "full"],
+        help="capacity scale for experiments (small=1/16, medium=1/4, "
+             "full=the paper's literal sizes; full takes hours)")
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    return {
+        "small": Scale.SMALL,
+        "medium": Scale.MEDIUM,
+        "full": Scale.FULL,
+    }[request.config.getoption("--repro-scale")]

@@ -1,0 +1,88 @@
+"""Shared experiment plumbing.
+
+Experiments run at a configurable :class:`Scale`.  The paper's testbed
+moves tens of GB per run; simulating that at full size is exact but slow in
+CI, so capacities *and* working sets shrink together — every ratio the
+results depend on (WS : HBM : DDR capacity, bandwidth ratios, per-task
+arithmetic intensity) is scale-invariant.  ``Scale.FULL`` reproduces the
+paper's literal sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing as _t
+
+from repro.units import GiB
+
+__all__ = ["Scale", "ExperimentResult", "run_trial", "speedup_table"]
+
+
+class Scale(enum.Enum):
+    """Capacity scale factor for experiment runs."""
+
+    #: 1/32 of the paper's sizes — for chare-heavy workloads (MatMul)
+    TINY = 32
+    #: 1/16 of the paper's sizes — seconds per run; the CI default
+    SMALL = 16
+    #: 1/4 of the paper's sizes
+    MEDIUM = 4
+    #: the paper's literal sizes
+    FULL = 1
+
+    @property
+    def factor(self) -> int:
+        return self.value
+
+    def size(self, full_bytes: float) -> int:
+        """Scale a paper-quoted size down to this run scale."""
+        return int(full_bytes / self.value)
+
+    @property
+    def mcdram(self) -> int:
+        return self.size(16 * GiB)
+
+    @property
+    def ddr(self) -> int:
+        return self.size(96 * GiB)
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """One experiment's regenerated data, paper-comparable."""
+
+    figure: str
+    description: str
+    #: x-axis label -> series label -> value
+    series: dict[str, dict[str, float]]
+    #: unit of the values ("speedup", "GB/s", "s", ...)
+    unit: str
+    #: free-form extras (overheads, counters) for EXPERIMENTS.md
+    notes: dict[str, _t.Any] = dataclasses.field(default_factory=dict)
+
+    def series_names(self) -> list[str]:
+        names: list[str] = []
+        for row in self.series.values():
+            for name in row:
+                if name not in names:
+                    names.append(name)
+        return names
+
+
+def run_trial(build_fn: _t.Callable[[], _t.Any],
+              run_fn: _t.Callable[[_t.Any], float]) -> float:
+    """Build + run one trial, returning the figure-of-merit."""
+    ctx = build_fn()
+    return run_fn(ctx)
+
+
+def speedup_table(times: _t.Mapping[str, _t.Mapping[str, float]],
+                  baseline: str = "naive") -> dict[str, dict[str, float]]:
+    """Convert absolute times into the paper's speedup-vs-baseline rows."""
+    out: dict[str, dict[str, float]] = {}
+    for x_label, by_strategy in times.items():
+        base = by_strategy[baseline]
+        out[x_label] = {name: base / t if t > 0 else float("inf")
+                        for name, t in by_strategy.items()}
+    return out

@@ -1,0 +1,42 @@
+"""Table rendering for experiment results."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.bench.harness import ExperimentResult
+
+__all__ = ["format_table", "render_experiment"]
+
+
+def format_table(headers: _t.Sequence[str],
+                 rows: _t.Sequence[_t.Sequence[_t.Any]]) -> str:
+    """Render a plain-text table with right-padded columns."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([f"{v:.4g}" if isinstance(v, float) else str(v)
+                      for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for n, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if n == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_experiment(result: ExperimentResult) -> str:
+    """Render one experiment as the paper-style series table."""
+    names = result.series_names()
+    headers = [result.figure] + names
+    rows = []
+    for x_label, by_series in result.series.items():
+        rows.append([x_label] + [by_series.get(name, float("nan"))
+                                 for name in names])
+    body = format_table(headers, rows)
+    title = f"{result.figure}: {result.description} [{result.unit}]"
+    notes = ""
+    if result.notes:
+        notes = "\n" + "\n".join(f"  note: {k} = {v}"
+                                 for k, v in sorted(result.notes.items()))
+    return f"{title}\n{body}{notes}"

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiments``
+    Regenerate the paper's figures (all or a subset) and print the tables.
+``stencil`` / ``matmul``
+    Run one application configuration under one strategy and report
+    timings plus the OOC manager summary.
+``stream``
+    Print the Figure-1 STREAM table.
+
+Examples::
+
+    python -m repro experiments --figures fig1 fig8 --scale small
+    python -m repro stencil --strategy multi-io --total 2GiB --block 4MiB
+    python -m repro matmul --strategy single-io --working-set 1.5GiB
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+from repro.apps.matmul import MatMul, MatMulConfig
+from repro.apps.stencil3d import Stencil3D, StencilConfig
+from repro.bench import experiments as exps
+from repro.bench.harness import Scale
+from repro.bench.report import render_experiment
+from repro.core.api import OOCRuntimeBuilder
+from repro.core.strategies import STRATEGIES
+from repro.units import format_size, format_time, parse_size
+
+__all__ = ["main"]
+
+_FIGURES: dict[str, _t.Callable[..., _t.Any]] = {
+    "fig1": lambda scale: exps.fig1_stream_bandwidth(),
+    "fig2": lambda scale: exps.fig2_stencil_fits_in_hbm(scale),
+    "fig5": lambda scale: exps.fig5_projections_wait(scale),
+    "fig6": lambda scale: exps.fig6_sync_vs_async(scale),
+    "fig7": lambda scale: exps.fig7_memcpy_cost(scale),
+    "fig8": lambda scale: exps.fig8_stencil_speedup(scale),
+    "fig9": lambda scale: exps.fig9_matmul_speedup(scale),
+}
+
+_SCALES = {"small": Scale.SMALL, "medium": Scale.MEDIUM, "full": Scale.FULL}
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--strategy", default="multi-io",
+                        choices=sorted(STRATEGIES))
+    parser.add_argument("--cores", type=int, default=64)
+    parser.add_argument("--mcdram", default="1GiB",
+                        help="HBM capacity (default 1GiB = 1/16 scale)")
+    parser.add_argument("--ddr", default="6GiB",
+                        help="DDR4 capacity (default 6GiB = 1/16 scale)")
+
+
+def _build(args: argparse.Namespace) -> _t.Any:
+    return OOCRuntimeBuilder(
+        args.strategy, cores=args.cores,
+        mcdram_capacity=parse_size(args.mcdram),
+        ddr_capacity=parse_size(args.ddr),
+        trace=True).build()
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    scale = _SCALES[args.scale]
+    names = args.figures or sorted(_FIGURES)
+    for name in names:
+        if name not in _FIGURES:
+            print(f"unknown figure {name!r}; choose from {sorted(_FIGURES)}",
+                  file=sys.stderr)
+            return 2
+        result = _FIGURES[name](scale)
+        print(render_experiment(result))
+        print()
+    return 0
+
+
+def _cmd_stencil(args: argparse.Namespace) -> int:
+    built = _build(args)
+    cfg = StencilConfig(total_bytes=parse_size(args.total),
+                        block_bytes=parse_size(args.block),
+                        iterations=args.iterations)
+    app = Stencil3D(built, cfg)
+    result = app.run()
+    print(f"strategy        : {args.strategy}")
+    print(f"chares          : {cfg.n_chares} "
+          f"({format_size(cfg.block_bytes)} blocks)")
+    print(f"total time      : {format_time(result.total_time)}")
+    print(f"mean iteration  : {format_time(result.mean_iteration_time)}")
+    print(f"mean kernel/task: {format_time(result.mean_kernel_time)}")
+    for key, value in built.manager.summary().items():
+        print(f"{key:16s}: {value}")
+    from repro.trace.occupancy import render_occupancy
+    print("hbm occupancy   :")
+    print(render_occupancy(built.manager.occupancy_log,
+                           built.machine.hbm.capacity, width=60))
+    return 0
+
+
+def _cmd_matmul(args: argparse.Namespace) -> int:
+    built = _build(args)
+    cfg = MatMulConfig.for_working_set(parse_size(args.working_set),
+                                       block_dim=args.block_dim)
+    app = MatMul(built, cfg)
+    result = app.run()
+    print(f"strategy        : {args.strategy}")
+    print(f"matrix          : {cfg.n} x {cfg.n} "
+          f"({cfg.grid}x{cfg.grid} chares)")
+    print(f"total time      : {format_time(result.total_time)}")
+    print(f"mean kernel/task: {format_time(result.mean_kernel_time)}")
+    for key, value in built.manager.summary().items():
+        print(f"{key:16s}: {value}")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    print(render_experiment(exps.fig1_stream_bandwidth(
+        threads=args.threads)))
+    return 0
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    """Parse arguments and dispatch to a subcommand; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory heterogeneity-aware runtime system "
+                    "(IPDPSW 2017 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper figures")
+    p_exp.add_argument("--figures", nargs="*", metavar="FIG",
+                       help="subset, e.g. fig1 fig8 (default: all)")
+    p_exp.add_argument("--scale", default="small", choices=sorted(_SCALES))
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_st = sub.add_parser("stencil", help="run Stencil3D once")
+    _add_machine_args(p_st)
+    p_st.add_argument("--total", default="2GiB")
+    p_st.add_argument("--block", default="4MiB")
+    p_st.add_argument("--iterations", type=int, default=5)
+    p_st.set_defaults(func=_cmd_stencil)
+
+    p_mm = sub.add_parser("matmul", help="run blocked MatMul once")
+    _add_machine_args(p_mm)
+    p_mm.add_argument("--working-set", default="1.5GiB")
+    p_mm.add_argument("--block-dim", type=int, default=96)
+    p_mm.set_defaults(func=_cmd_matmul)
+
+    p_sm = sub.add_parser("stream", help="STREAM bandwidth table (Fig 1)")
+    p_sm.add_argument("--threads", type=int, default=64)
+    p_sm.set_defaults(func=_cmd_stream)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

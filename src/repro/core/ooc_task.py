@@ -1,0 +1,114 @@
+"""OOCTask: an intercepted ``[prefetch]`` entry-method invocation.
+
+"The object along with its input dependences... and input message are
+encapsulated as an OOCTask." (§IV-B)
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as _t
+from itertools import count
+
+from repro.errors import SchedulingError
+from repro.mem.block import AccessIntent, BlockState, DataBlock
+from repro.runtime.message import Message
+
+__all__ = ["TaskState", "OOCTask"]
+
+_task_ids = count()
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of an intercepted prefetch task."""
+
+    WAITING = "waiting"      # in a wait queue, data not yet resident
+    FETCHING = "fetching"    # an IO thread / worker is bringing data in
+    READY = "ready"          # all dependences INHBM; queued for execution
+    RUNNING = "running"
+    DONE = "done"
+
+
+class OOCTask:
+    """A prefetch task: message + resolved, deduplicated dependences."""
+
+    __slots__ = ("tid", "message", "pe_id", "deps", "state",
+                 "submitted_at", "ready_at", "started_at", "finished_at",
+                 "retained")
+
+    def __init__(self, message: Message, pe_id: int,
+                 deps: _t.Sequence[tuple[DataBlock, AccessIntent]],
+                 now: float):
+        self.tid = next(_task_ids)
+        self.message = message
+        self.pe_id = pe_id
+        # Deduplicate blocks (a block listed twice keeps the strongest
+        # intent; refcounts must bump once per task, not per mention).
+        merged: dict[int, tuple[DataBlock, AccessIntent]] = {}
+        for block, intent in deps:
+            if block.bid in merged:
+                prev = merged[block.bid][1]
+                if prev is not intent:
+                    intent = AccessIntent.READWRITE
+            merged[block.bid] = (block, intent)
+        self.deps: tuple[tuple[DataBlock, AccessIntent], ...] = tuple(
+            merged[k] for k in sorted(merged))
+        self.state = TaskState.WAITING
+        self.submitted_at = now
+        self.ready_at: float | None = None
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        #: True once refcounts were taken (so release is exactly-once)
+        self.retained = False
+
+    # -- dependence views -----------------------------------------------------
+
+    @property
+    def blocks(self) -> tuple[DataBlock, ...]:
+        return tuple(block for block, _ in self.deps)
+
+    @property
+    def chare(self) -> _t.Any:
+        return self.message.target
+
+    @property
+    def total_dep_bytes(self) -> int:
+        return sum(block.nbytes for block in self.blocks)
+
+    def missing_blocks(self) -> list[DataBlock]:
+        """Dependences not currently resident in HBM."""
+        return [b for b in self.blocks if b.state is not BlockState.INHBM]
+
+    def all_resident(self) -> bool:
+        return all(b.state is BlockState.INHBM for b in self.blocks)
+
+    # -- refcount lifecycle (paper: bump at scheduling, drop at finish) ---------
+
+    def retain_all(self, now: float) -> None:
+        if self.retained:
+            raise SchedulingError(f"task #{self.tid} retained twice")
+        for block in self.blocks:
+            block.retain(now)
+        self.retained = True
+
+    def release_all(self) -> None:
+        if not self.retained:
+            raise SchedulingError(
+                f"task #{self.tid} released without being retained")
+        for block in self.blocks:
+            block.release()
+        self.retained = False
+
+    # -- latency metrics ----------------------------------------------------------
+
+    @property
+    def fetch_latency(self) -> float | None:
+        """Submit-to-ready time (includes queueing behind other tasks)."""
+        if self.ready_at is None:
+            return None
+        return self.ready_at - self.submitted_at
+
+    def __repr__(self) -> str:
+        tgt = getattr(self.message.target, "label", "?")
+        return (f"<OOCTask #{self.tid} {tgt}.{self.message.entry.name} "
+                f"pe={self.pe_id} {self.state.value} deps={len(self.deps)}>")

@@ -1,0 +1,38 @@
+"""Scheduling strategies (§IV-B) and static baselines (§IV-B, §V)."""
+
+from repro.core.strategies.base import Strategy
+from repro.core.strategies.naive import NaiveStrategy
+from repro.core.strategies.ddr_only import DDROnlyStrategy
+from repro.core.strategies.hbm_only import HBMOnlyStrategy
+from repro.core.strategies.single_io import SingleIOThreadStrategy
+from repro.core.strategies.no_io import NoIOThreadStrategy
+from repro.core.strategies.multi_io import MultiIOThreadStrategy
+
+#: registry used by the benchmark harness (paper series names)
+STRATEGIES: dict[str, type[Strategy]] = {
+    "naive": NaiveStrategy,
+    "ddr-only": DDROnlyStrategy,
+    "hbm-only": HBMOnlyStrategy,
+    "single-io": SingleIOThreadStrategy,
+    "no-io": NoIOThreadStrategy,
+    "multi-io": MultiIOThreadStrategy,
+}
+
+
+def make_strategy(name: str, **kwargs) -> Strategy:
+    """Instantiate a strategy by its registry name."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; choose from {sorted(STRATEGIES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Strategy",
+    "NaiveStrategy", "DDROnlyStrategy", "HBMOnlyStrategy",
+    "SingleIOThreadStrategy", "NoIOThreadStrategy", "MultiIOThreadStrategy",
+    "STRATEGIES", "make_strategy",
+]

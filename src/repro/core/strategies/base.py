@@ -1,0 +1,315 @@
+"""Strategy base class with the shared fetch/evict machinery.
+
+Everything timing-critical is a generator meant to run inside a simulated
+process (a worker PE's converse loop or an IO thread).  The base class
+centralises the fiddly parts every strategy needs:
+
+* fetching a block (reserve HBM space → move → unreserve), including
+  waiting on a move already in flight from another fetcher;
+* verifying all of a task's dependences are resident and re-fetching
+  stragglers ("It then verifies that all its dependences have been brought
+  into HBM", §IV-B);
+* marking a task ready: bump refcounts and push a
+  :class:`~repro.runtime.interception.ReadyTask` onto the PE run queue;
+* evicting a block back to DDR4.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import CapacityError, SchedulingError
+from repro.mem.block import BlockState, DataBlock
+from repro.runtime.interception import ReadyTask
+from repro.runtime.pe import PE
+from repro.core.ooc_task import OOCTask, TaskState
+from repro.trace.events import TraceCategory
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manager import OOCManager
+
+__all__ = ["Strategy"]
+
+
+class Strategy:
+    """Base class for all scheduling strategies."""
+
+    #: registry name (paper series label)
+    name = "abstract"
+    #: False for static-placement baselines (messages are never intercepted)
+    intercepts = True
+
+    def __init__(self) -> None:
+        self.manager: "OOCManager | None" = None
+        self.fetches = 0
+        self.evictions = 0
+        self.bytes_fetched = 0
+        self.bytes_evicted = 0
+        #: set by can_fetch_task when the fetch must demand-evict first
+        self._needs_demand_evict = False
+        #: memoized watermark scan: (epoch, nothing_found)
+        self._wm_seen_epoch = -1
+        #: memoized freeable-bytes estimate: (epoch, bytes)
+        self._freeable_cache: tuple[int, int] = (-1, 0)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def attach(self, manager: "OOCManager") -> None:
+        self.manager = manager
+        self.setup()
+
+    def setup(self) -> None:
+        """Spawn IO threads etc.  Called once, from :meth:`attach`."""
+
+    def stop(self) -> None:
+        """Tear down IO threads at end of run."""
+
+    # -- placement ---------------------------------------------------------------
+
+    def place_initial(self, blocks: _t.Iterable[DataBlock]) -> None:
+        """Initial residency before the application starts.
+
+        Prefetch strategies allocate everything on DDR4: "data is allocated
+        on DDR4 and fetched into MCDRAM before being accessed" (§V-B).
+        Baselines override this.
+        """
+        mgr = self._mgr()
+        for block in blocks:
+            mgr.topology.place_block(block, mgr.ddr)
+
+    # -- scheduling hooks (called by the OOC manager) ------------------------------
+
+    def submit(self, pe: PE, task: OOCTask) -> _t.Generator:
+        """Pre-processing for an intercepted task, on the worker PE."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def task_finished(self, pe: PE, task: OOCTask) -> _t.Generator:
+        """Post-processing after the entry method ran, on the worker PE."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def retry_waiting(self, pe: PE) -> _t.Generator:
+        """Re-attempt this PE's waiting tasks (RetryFetch handler)."""
+        return
+        yield  # pragma: no cover
+
+    # -- shared machinery -----------------------------------------------------------
+
+    def _mgr(self) -> "OOCManager":
+        if self.manager is None:
+            raise SchedulingError(f"strategy {self.name!r} is not attached")
+        return self.manager
+
+    def fetch_block(self, block: DataBlock, lane: str,
+                    category: TraceCategory = TraceCategory.IO_FETCH
+                    ) -> _t.Generator:
+        """Bring one block into HBM (generator).
+
+        Assumes the caller already verified capacity via
+        ``manager.tracker.can_fit`` — reservation failures raise.
+        If the block is being moved by someone else, waits for that move.
+        """
+        mgr = self._mgr()
+        if block.state is BlockState.INHBM:
+            return True
+        if block.moving:
+            yield mgr.inflight_event(block)
+            return True
+        started = mgr.env.now
+        reservation = mgr.tracker.reserve(block.nbytes)
+        done_event = mgr.begin_inflight(block)
+        try:
+            yield from mgr.mover.move(block, mgr.hbm)
+        except CapacityError:
+            # Fragmentation on the HBM free list: byte accounting said the
+            # block fits but no contiguous range did.  Report "no space".
+            return False
+        finally:
+            mgr.tracker.unreserve(reservation)
+            mgr.end_inflight(block, done_event)
+        self.fetches += 1
+        self.bytes_fetched += block.nbytes
+        mgr.tracer.record(lane, category, started, mgr.env.now,
+                          label=f"fetch {block.name}")
+        return True
+
+    def evict_block(self, block: DataBlock, lane: str,
+                    category: TraceCategory = TraceCategory.IO_EVICT
+                    ) -> _t.Generator:
+        """Push one idle block back to DDR4 (generator)."""
+        mgr = self._mgr()
+        if block.state is not BlockState.INHBM:
+            return
+        if block.in_use or block.pinned:
+            raise SchedulingError(
+                f"evicting in-use/pinned block {block.name!r}")
+        started = mgr.env.now
+        done_event = mgr.begin_inflight(block)
+        try:
+            yield from mgr.mover.move(block, mgr.ddr)
+        finally:
+            mgr.end_inflight(block, done_event)
+        block.evict_count += 1
+        block.last_evicted_at = mgr.env.now
+        self.evictions += 1
+        self.bytes_evicted += block.nbytes
+        mgr.tracer.record(lane, category, started, mgr.env.now,
+                          label=f"evict {block.name}")
+
+    #: proactive eviction watermarks, as fractions of the HBM budget: when
+    #: uncommitted space drops below ``low``, evict (demand-aware LRU)
+    #: until ``high`` is free again.  Keeps evictions off the fetch
+    #: critical path, like an OS page-out daemon.
+    watermark_low = 0.06
+    watermark_high = 0.12
+
+    def maintain_watermarks(self, lane: str,
+                            category: TraceCategory = TraceCategory.IO_EVICT
+                            ) -> _t.Generator:
+        """Proactively evict until the free-space reserve is restored.
+
+        Returns True if anything was evicted.
+        """
+        mgr = self._mgr()
+        budget = mgr.tracker.budget
+        if mgr.tracker.uncommitted >= self.watermark_low * budget:
+            return False
+        # The reserve exists to feed *upcoming* fetches: size it by what
+        # the tasks still sitting in wait queues actually miss.  For a
+        # fitting working set (nothing missing) this is zero — evicting
+        # would purge hot data the next iteration refetches.
+        pending_missing = sum(
+            self.missing_bytes(task)
+            for pe in mgr.runtime.pes for task in pe.wait_queue)
+        low = min(int(self.watermark_low * budget), pending_missing)
+        if mgr.tracker.uncommitted >= low or pending_missing == 0:
+            return False
+        # memoize fruitless scans: candidacy only changes when a task
+        # completes or a block moves (manager.change_epoch)
+        if self._wm_seen_epoch == mgr.change_epoch:
+            return False
+        high = min(int(self.watermark_high * budget), pending_missing)
+        needed = high - mgr.tracker.uncommitted
+        victims = mgr.eviction.make_space_victims(mgr.registry, needed,
+                                                  include_demanded=False)
+        if not victims:
+            self._wm_seen_epoch = mgr.change_epoch
+            return False
+        evicted = False
+        for victim in victims:
+            if victim.in_hbm and not victim.in_use and not victim.pinned:
+                yield from self.evict_block(victim, lane, category)
+                evicted = True
+        return evicted
+
+    def missing_bytes(self, task: OOCTask) -> int:
+        """Bytes of ``task``'s dependences not in (or moving to) HBM."""
+        total = 0
+        for block in task.blocks:
+            if block.state is BlockState.INDDR:
+                total += block.nbytes
+        return total
+
+    def can_fetch_task(self, task: OOCTask) -> bool:
+        """Would the whole task's missing data fit right now?
+
+        When HBM is over-committed, checks (cheaply, with early exit)
+        whether enough *evictable* bytes exist to make room; the actual
+        victim selection is deferred to :meth:`fetch_task_blocks` so the
+        expensive demand-aware ordering runs once per fetch, not once per
+        capacity probe.
+        """
+        mgr = self._mgr()
+        need = self.missing_bytes(task)
+        if need == 0:
+            return True
+        if mgr.tracker.can_fit(need):
+            return True
+        shortfall = need - mgr.tracker.uncommitted
+        # One O(registry) freeable scan per change epoch (completions and
+        # moves are what change candidacy); probes between epochs reuse it.
+        epoch, freeable_total = self._freeable_cache
+        if epoch != mgr.change_epoch:
+            freeable_total = sum(
+                block.nbytes for block in mgr.registry
+                if block.state is BlockState.INHBM and not block.in_use
+                and not block.pinned)
+            self._freeable_cache = (mgr.change_epoch, freeable_total)
+        # the task's own resident blocks are about to be retained, so they
+        # cannot be victims — subtract them from the freeable estimate
+        own_resident = sum(
+            block.nbytes for block in task.blocks
+            if block.state is BlockState.INHBM and not block.in_use
+            and not block.pinned)
+        if freeable_total - own_resident >= shortfall:
+            self._needs_demand_evict = True
+            return True
+        return False
+
+    def fetch_task_blocks(self, task: OOCTask, lane: str,
+                          category: TraceCategory = TraceCategory.IO_FETCH,
+                          evict_category: TraceCategory = TraceCategory.IO_EVICT
+                          ) -> _t.Generator:
+        """Fetch every missing dependence of ``task``; returns True on success.
+
+        May return False when HBM filled up mid-fetch (partial progress is
+        kept, as in the paper); the caller requeues the task.
+
+        Dependences are *retained at fetch start* — the paper increments
+        the reference counter "every time a task depending on the block is
+        scheduled", i.e. when the IO thread starts processing it.  This is
+        what protects shared read-only blocks (MatMul's panels) from being
+        evicted between two consecutive uses: the next task's fetch has
+        already pinned them.  On failure the retention is rolled back.
+        """
+        mgr = self._mgr()
+        if not task.retained:
+            task.retain_all(mgr.env.now)
+        # On-demand eviction flagged by can_fetch_task: pick victims now
+        # (once per fetch) with the demand-aware policy ordering.
+        if self._needs_demand_evict:
+            self._needs_demand_evict = False
+            shortfall = self.missing_bytes(task) - mgr.tracker.uncommitted
+            if shortfall > 0:
+                victims = mgr.eviction.make_space_victims(mgr.registry,
+                                                          shortfall)
+                for victim in victims:
+                    if victim.state is BlockState.INHBM and not victim.in_use:
+                        yield from self.evict_block(victim, lane,
+                                                    evict_category)
+        for _attempt in range(3):
+            for block in task.blocks:
+                if block.state is BlockState.INHBM:
+                    continue
+                if block.moving:
+                    yield mgr.inflight_event(block)
+                    continue
+                if not mgr.tracker.can_fit(block.nbytes):
+                    task.release_all()
+                    return False
+                fetched = yield from self.fetch_block(block, lane, category)
+                if not fetched:
+                    task.release_all()
+                    return False
+            if task.all_resident():
+                return True
+        # Three verification passes failed: blocks are being evicted under
+        # us faster than we fetch them — treat as "no space".
+        task.release_all()
+        return False
+
+    def make_ready(self, pe: PE, task: OOCTask) -> None:
+        """Retain dependences and hand the task to the converse scheduler."""
+        mgr = self._mgr()
+        if not task.all_resident():
+            raise SchedulingError(
+                f"task #{task.tid} scheduled with non-resident dependences")
+        if not task.retained:
+            # zero-missing-dependence fast path skipped fetch_task_blocks
+            task.retain_all(mgr.env.now)
+        task.state = TaskState.READY
+        task.ready_at = mgr.env.now
+        target_pe = mgr.pick_run_queue(pe)
+        target_pe.run_queue.put(ReadyTask(task.message, task))
+        mgr.tasks_readied += 1

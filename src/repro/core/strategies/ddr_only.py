@@ -1,0 +1,32 @@
+"""DDR4-only placement: the evaluation's lower bound (Figures 2, 8, 9)."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.strategies.base import Strategy
+from repro.errors import SchedulingError
+from repro.mem.block import DataBlock
+from repro.runtime.pe import PE
+
+__all__ = ["DDROnlyStrategy"]
+
+
+class DDROnlyStrategy(Strategy):
+    """Everything on the low-bandwidth pool; no interception, no movement."""
+
+    name = "ddr-only"
+    intercepts = False
+
+    def place_initial(self, blocks: _t.Iterable[DataBlock]) -> None:
+        mgr = self._mgr()
+        for block in blocks:
+            mgr.topology.place_block(block, mgr.ddr)
+
+    def submit(self, pe: PE, task) -> _t.Generator:  # pragma: no cover
+        raise SchedulingError("DDROnlyStrategy never intercepts messages")
+        yield
+
+    def task_finished(self, pe: PE, task) -> _t.Generator:  # pragma: no cover
+        raise SchedulingError("DDROnlyStrategy never intercepts messages")
+        yield

@@ -1,0 +1,102 @@
+"""STREAM benchmark over the device model (paper Figure 1).
+
+McCalpin's STREAM kernels and their per-element traffic (8-byte doubles):
+
+=========  ==================  =====  ======
+kernel     operation           reads  writes
+=========  ==================  =====  ======
+copy       a[i] = b[i]           1      1
+scale      a[i] = q*b[i]         1      1
+add        a[i] = b[i]+c[i]      2      1
+triad      a[i] = b[i]+q*c[i]    2      1
+=========  ==================  =====  ======
+
+STREAM reports ``bytes_touched / best_time``.  We run ``threads`` concurrent
+streaming kernels against one device and measure exactly that, which is the
+calibration anchor for the ~4x MCDRAM:DDR4 ratio the paper's Figure 1 shows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ExperimentError
+from repro.machine.node import MachineNode
+from repro.mem.device import MemoryDevice
+from repro.units import MiB
+
+__all__ = ["STREAM_KERNELS", "StreamResult", "run_stream"]
+
+#: kernel name -> (reads per element, writes per element)
+STREAM_KERNELS: dict[str, tuple[int, int]] = {
+    "copy": (1, 1),
+    "scale": (1, 1),
+    "add": (2, 1),
+    "triad": (2, 1),
+}
+
+
+@dataclasses.dataclass
+class StreamResult:
+    """One STREAM measurement."""
+
+    kernel: str
+    device: str
+    threads: int
+    array_bytes: int
+    bytes_touched: float
+    elapsed: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Aggregate bandwidth, B/s (STREAM convention)."""
+        return self.bytes_touched / self.elapsed if self.elapsed > 0 else 0.0
+
+
+def run_stream(node: MachineNode, device: MemoryDevice | str, *,
+               kernel: str = "triad", threads: int | None = None,
+               array_bytes: int = 64 * MiB, repeats: int = 3) -> StreamResult:
+    """Measure STREAM bandwidth for ``kernel`` on ``device``.
+
+    Each thread streams its own ``array_bytes`` working array; the reported
+    bandwidth is total touched bytes over the elapsed (simulated) time of
+    the slowest thread, best of ``repeats`` — mirroring real STREAM.
+    """
+    if kernel not in STREAM_KERNELS:
+        raise ExperimentError(
+            f"unknown STREAM kernel {kernel!r}; choose from {sorted(STREAM_KERNELS)}")
+    if isinstance(device, str):
+        device = node.topology.device(device)
+    nthreads = threads if threads is not None else len(node.cores)
+    if nthreads < 1 or nthreads > len(node.cores):
+        raise ExperimentError(
+            f"threads must be in [1, {len(node.cores)}], got {nthreads}")
+    reads, writes = STREAM_KERNELS[kernel]
+    read_bytes = float(reads * array_bytes)
+    write_bytes = float(writes * array_bytes)
+    per_thread_bytes = read_bytes + write_bytes
+
+    env = node.env
+    best_elapsed = float("inf")
+    for _rep in range(max(1, repeats)):
+        start = env.now
+        done_events = []
+        for tid in range(nthreads):
+            core = node.cores[tid]
+
+            def body(core=core):  # bind loop var
+                result = yield from node.run_kernel(
+                    core, flops=0.0,
+                    traffic={device: (read_bytes, write_bytes)})
+                return result
+
+            done_events.append(env.process(body(), name=f"stream-{tid}"))
+        env.run(env.all_of(done_events))
+        best_elapsed = min(best_elapsed, env.now - start)
+
+    return StreamResult(
+        kernel=kernel, device=device.name, threads=nthreads,
+        array_bytes=array_bytes,
+        bytes_touched=per_thread_bytes * nthreads,
+        elapsed=best_elapsed)

@@ -1,0 +1,193 @@
+"""Data blocks — the ``CkIOHandle`` analog.
+
+The paper (§IV-A) has applications declare their bandwidth-sensitive data as
+``CkIOHandle<T>`` members, "which allows the runtime system to store and
+query metadata about the data block".  Each handle carries:
+
+* an **access intent** from the entry-method annotation
+  (``readonly`` / ``readwrite`` / ``writeonly``),
+* a **placement state** — the paper's two states ``INHBM`` and ``INDDR``
+  (we add transient ``MOVING`` so in-flight transfers are observable),
+* a **reference count**, "incremented every time a task depending on the
+  block is scheduled", which gates eviction in the post-processing step.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as _t
+from itertools import count
+
+from repro.errors import BlockStateError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.mem.allocator import Allocation
+    from repro.mem.device import MemoryDevice
+
+__all__ = ["AccessIntent", "BlockState", "DataBlock"]
+
+_block_ids = count()
+
+
+class AccessIntent(enum.Enum):
+    """How a task uses a dependence block (from the ``.ci`` annotation)."""
+
+    READONLY = "readonly"
+    READWRITE = "readwrite"
+    WRITEONLY = "writeonly"
+
+    @property
+    def reads(self) -> bool:
+        return self is not AccessIntent.WRITEONLY
+
+    @property
+    def writes(self) -> bool:
+        return self is not AccessIntent.READONLY
+
+
+class BlockState(enum.Enum):
+    """Placement state of a block (paper: ``INHBM`` / ``INDDR``)."""
+
+    INHBM = "INHBM"
+    INDDR = "INDDR"
+    #: transfer in flight (transient; the paper treats this inside its locks)
+    MOVING = "MOVING"
+
+
+class DataBlock:
+    """A contiguous application data block managed by the runtime.
+
+    Blocks are *metadata only* — the simulation never materialises their
+    bytes.  ``payload`` may hold a small numpy array for functional
+    verification in the example apps (sized-down mirrors of the simulated
+    blocks).
+    """
+
+    __slots__ = (
+        "bid", "name", "nbytes", "state", "device", "allocation",
+        "_refcount", "_pending", "_next_use", "pinned",
+        "last_scheduled_at", "last_evicted_at", "fetch_count",
+        "evict_count", "bytes_moved", "payload", "owner",
+    )
+
+    def __init__(self, name: str, nbytes: int, *,
+                 state: BlockState = BlockState.INDDR,
+                 device: "MemoryDevice | None" = None,
+                 payload: _t.Any = None,
+                 owner: _t.Any = None):
+        if nbytes < 0:
+            raise BlockStateError(f"block {name!r} size must be >= 0")
+        self.bid = next(_block_ids)
+        self.name = name
+        self.nbytes = int(nbytes)
+        self.state = state
+        #: the device currently hosting the bytes
+        self.device: "MemoryDevice | None" = device
+        #: live allocation handle on ``device``
+        self.allocation: "Allocation | None" = None
+        self._refcount = 0
+        # Pending demand: serial numbers of queued-but-unfinished tasks
+        # referencing this block.  The wait queues are FIFO, so the
+        # smallest pending serial approximates the block's next use —
+        # which lets eviction be Belady-like instead of guessing.
+        self._pending: set[int] = set()
+        self._next_use: int | None = None  # cached min(self._pending)
+        #: pinned blocks are never evicted (used by node-group caching)
+        self.pinned = False
+        self.last_scheduled_at: float | None = None
+        self.last_evicted_at: float | None = None
+        self.fetch_count = 0
+        self.evict_count = 0
+        self.bytes_moved = 0
+        self.payload = payload
+        #: chare (or other object) that declared this handle, for tracing
+        self.owner = owner
+
+    # -- reference counting -------------------------------------------------
+
+    @property
+    def refcount(self) -> int:
+        return self._refcount
+
+    @property
+    def in_use(self) -> bool:
+        """Paper: a block may only be evicted when its refcount is zero."""
+        return self._refcount > 0
+
+    def retain(self, now: float | None = None) -> int:
+        """Increment the refcount (a dependent task was scheduled)."""
+        self._refcount += 1
+        if now is not None:
+            self.last_scheduled_at = now
+        return self._refcount
+
+    def release(self) -> int:
+        """Decrement the refcount (a dependent task finished)."""
+        if self._refcount <= 0:
+            raise BlockStateError(
+                f"refcount underflow on block {self.name!r}")
+        self._refcount -= 1
+        return self._refcount
+
+    @property
+    def demand(self) -> int:
+        """Queued tasks (waiting, fetching, ready or running) needing this block."""
+        return len(self._pending)
+
+    @property
+    def next_use(self) -> int:
+        """Serial of the earliest pending task needing this block.
+
+        Smaller = needed sooner.  Blocks with no pending tasks report a
+        sentinel larger than any serial (farthest possible next use).
+        """
+        if not self._pending:
+            return 1 << 62
+        if self._next_use is None:
+            self._next_use = min(self._pending)
+        return self._next_use
+
+    def add_demand(self, task_serial: int) -> None:
+        self._pending.add(task_serial)
+        if self._next_use is not None and task_serial < self._next_use:
+            self._next_use = task_serial
+
+    def drop_demand(self, task_serial: int) -> None:
+        try:
+            self._pending.remove(task_serial)
+        except KeyError:
+            raise BlockStateError(
+                f"demand underflow on block {self.name!r}") from None
+        if self._next_use == task_serial:
+            self._next_use = None  # recompute lazily
+
+    # -- placement ------------------------------------------------------------
+
+    @property
+    def in_hbm(self) -> bool:
+        return self.state is BlockState.INHBM
+
+    @property
+    def in_ddr(self) -> bool:
+        return self.state is BlockState.INDDR
+
+    @property
+    def moving(self) -> bool:
+        return self.state is BlockState.MOVING
+
+    def begin_move(self) -> None:
+        if self.state is BlockState.MOVING:
+            raise BlockStateError(f"block {self.name!r} is already moving")
+        self.state = BlockState.MOVING
+
+    def settle(self, device: "MemoryDevice", state: BlockState) -> None:
+        """Finish a move: bind to ``device`` with a concrete state."""
+        if state is BlockState.MOVING:
+            raise BlockStateError("settle() needs a concrete state")
+        self.device = device
+        self.state = state
+
+    def __repr__(self) -> str:
+        dev = self.device.name if self.device else "-"
+        return (f"<DataBlock #{self.bid} {self.name!r} {self.nbytes}B "
+                f"{self.state.value}@{dev} rc={self._refcount}>")

@@ -1,0 +1,82 @@
+"""The interception hook the paper adds to the Converse scheduler.
+
+"Before a chare's entry method is about to be executed by delivery of its
+input message, we intercept the call and check whether the entry method
+needs prefetching of data.  If so, instead of delivering the message we
+queue the message and the corresponding object in a queue." (§IV-B)
+
+The runtime only knows this protocol; the concrete interceptor (the OOC
+manager with its strategy) lives in :mod:`repro.core`.  The *pre-processing*
+and *post-processing* methods charmxi would auto-generate for ``[prefetch]``
+entries map to :meth:`Interceptor.intercept` and
+:meth:`Interceptor.post_process`, both executed on the worker PE.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.runtime.message import Message
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.pe import PE
+
+__all__ = ["Interceptor", "ReadyTask", "RetryFetch"]
+
+
+class RetryFetch:
+    """A converse-queue nudge: "re-check this PE's wait queue".
+
+    Needed by the synchronous (no-IO-thread) strategy: a PE whose waiting
+    tasks could not be fetched would otherwise only re-check when one of
+    *its own* tasks finishes — if space is freed by another PE's eviction,
+    nobody on the starved PE ever looks again.  Delivering a RetryFetch
+    runs the interceptor's retry hook in that PE's converse loop.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<RetryFetch>"
+
+
+class ReadyTask:
+    """A prefetched task re-entering the converse run queue.
+
+    Wraps the original message plus whatever task object the interceptor
+    tracks, so delivery skips a second interception.
+    """
+
+    __slots__ = ("message", "task")
+
+    def __init__(self, message: Message, task: _t.Any):
+        self.message = message
+        self.task = task
+
+    def __repr__(self) -> str:
+        return f"<ReadyTask {self.message!r}>"
+
+
+class Interceptor(_t.Protocol):
+    """What the converse scheduler needs from an OOC manager."""
+
+    def wants(self, message: Message) -> bool:
+        """Should this message be intercepted instead of delivered?"""
+        ...
+
+    def intercept(self, pe: "PE", message: Message) -> _t.Generator:
+        """Pre-processing: runs on the worker PE inside the converse loop.
+
+        May consume simulated time (synchronous strategies fetch here).
+        By the time it returns, the message has either been queued for
+        later or pushed back to a run queue as a :class:`ReadyTask`.
+        """
+        ...
+
+    def post_process(self, pe: "PE", task: _t.Any) -> _t.Generator:
+        """Post-processing after the entry method ran (eviction etc.)."""
+        ...
+
+    def retry(self, pe: "PE") -> _t.Generator:
+        """Handle a :class:`RetryFetch` delivered to ``pe``."""
+        ...

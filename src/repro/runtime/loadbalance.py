@@ -1,0 +1,96 @@
+"""Chare-to-PE placement and simple load balancing.
+
+"Objects do not migrate at anytime, they migrate only when load balancing
+explicitly moves them to a different PE." (§III-A)  The evaluation keeps
+placement static, so the core offering here is the initial map; a greedy
+measured-load rebalancer is included for completeness and ablations.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import RuntimeModelError
+
+__all__ = ["round_robin_map", "block_map", "block_cyclic_map",
+           "GreedyLoadBalancer"]
+
+Index = tuple[int, ...]
+
+
+def round_robin_map(indices: _t.Sequence[Index], n_pes: int) -> dict[Index, int]:
+    """Cycle chares over PEs in sorted index order.
+
+    This is the default for the paper's workloads: consecutive chares land
+    on consecutive PEs, so one "wave" of chares touches every PE — the
+    over-decomposition pattern §III-A relies on.
+    """
+    if n_pes <= 0:
+        raise RuntimeModelError("need at least one PE")
+    return {idx: i % n_pes for i, idx in enumerate(sorted(indices))}
+
+
+def block_map(indices: _t.Sequence[Index], n_pes: int) -> dict[Index, int]:
+    """Contiguous slabs of chares per PE (locality-preserving)."""
+    if n_pes <= 0:
+        raise RuntimeModelError("need at least one PE")
+    ordered = sorted(indices)
+    n = len(ordered)
+    mapping: dict[Index, int] = {}
+    for i, idx in enumerate(ordered):
+        mapping[idx] = min(i * n_pes // max(n, 1), n_pes - 1)
+    return mapping
+
+
+def block_cyclic_map(indices: _t.Sequence[Index], n_pes: int) -> dict[Index, int]:
+    """2-D block-cyclic distribution (ScaLAPACK-style) for 2-D chare arrays.
+
+    The PEs form a near-square ``pr x pc`` grid; chare *(i, j)* lands on PE
+    ``(i % pr) * pc + (j % pc)``.  At any instant the ~``n_pes`` concurrent
+    chares tile a ``pr x pc`` patch of the chare grid, so each row panel is
+    shared by ``pc`` running tasks and each column panel by ``pr`` — the
+    concurrency pattern that lets reference counting keep the read-only
+    panels of MatMul resident (§V-B).  Non-2-D indices fall back to
+    round-robin.
+    """
+    if n_pes <= 0:
+        raise RuntimeModelError("need at least one PE")
+    if any(len(idx) != 2 for idx in indices):
+        return round_robin_map(indices, n_pes)
+    pr = int(n_pes ** 0.5)
+    while n_pes % pr:
+        pr -= 1
+    pc = n_pes // pr
+    return {idx: (idx[0] % pr) * pc + (idx[1] % pc) for idx in indices}
+
+
+class GreedyLoadBalancer:
+    """Longest-processing-time-first rebalancing from measured loads."""
+
+    def __init__(self, n_pes: int):
+        if n_pes <= 0:
+            raise RuntimeModelError("need at least one PE")
+        self.n_pes = n_pes
+
+    def rebalance(self, loads: _t.Mapping[Index, float]) -> dict[Index, int]:
+        """Assign chares (heaviest first) to the least-loaded PE."""
+        pe_load = [0.0] * self.n_pes
+        mapping: dict[Index, int] = {}
+        # Sort by load descending, index ascending for determinism.
+        for idx in sorted(loads, key=lambda i: (-loads[i], i)):
+            target = min(range(self.n_pes), key=lambda p: (pe_load[p], p))
+            mapping[idx] = target
+            pe_load[target] += loads[idx]
+        return mapping
+
+    @staticmethod
+    def imbalance(loads: _t.Mapping[Index, float],
+                  mapping: _t.Mapping[Index, int], n_pes: int) -> float:
+        """max/mean PE load ratio (1.0 = perfectly balanced)."""
+        pe_load = [0.0] * n_pes
+        for idx, pe in mapping.items():
+            pe_load[pe] += loads.get(idx, 0.0)
+        mean = sum(pe_load) / n_pes
+        if mean == 0:
+            return 1.0
+        return max(pe_load) / mean

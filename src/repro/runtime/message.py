@@ -1,0 +1,53 @@
+"""Messages: the unit of work delivery in the converse layer.
+
+"When a message arrives for an object, the converse scheduler delivers the
+message and in turn the object executes the corresponding entry method for
+the message." (§III-A)
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from itertools import count
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.chare import Chare
+    from repro.runtime.entry import EntrySpec
+
+__all__ = ["Message"]
+
+_msg_ids = count()
+
+
+class Message:
+    """An entry-method invocation in flight."""
+
+    __slots__ = ("mid", "target", "entry", "args", "kwargs", "nbytes",
+                 "created_at", "delivered_at", "intercepted")
+
+    def __init__(self, target: "Chare", entry: "EntrySpec",
+                 args: tuple = (), kwargs: dict | None = None,
+                 nbytes: int = 0, created_at: float = 0.0):
+        self.mid = next(_msg_ids)
+        self.target = target
+        self.entry = entry
+        self.args = args
+        self.kwargs = kwargs or {}
+        #: payload size, for communication-cost accounting
+        self.nbytes = int(nbytes)
+        self.created_at = created_at
+        self.delivered_at: float | None = None
+        #: set once the OOC manager has seen this message, so a ready task
+        #: re-entering the converse queue is not intercepted twice
+        self.intercepted = False
+
+    @property
+    def queue_delay(self) -> float | None:
+        """Time from send to delivery, if delivered."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.created_at
+
+    def __repr__(self) -> str:
+        tgt = getattr(self.target, "label", type(self.target).__name__)
+        return f"<Message #{self.mid} {tgt}.{self.entry.name}>"

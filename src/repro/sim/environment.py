@@ -1,0 +1,154 @@
+"""The simulation environment: clock + event heap + run loop."""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from itertools import count
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process
+
+__all__ = ["Environment"]
+
+#: Priority band for normal events.
+NORMAL = 1
+#: Priority band for urgent events (process resumption ahead of same-time events).
+URGENT = 0
+
+
+class Environment:
+    """Owns the simulated clock and the pending-event heap.
+
+    Typical usage::
+
+        env = Environment()
+        env.process(my_generator(env))
+        env.run()
+
+    The heap is keyed ``(time, priority, sequence)`` — the sequence number
+    makes same-time processing deterministic (FIFO in scheduling order).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        #: live processes, for deadlock diagnostics
+        self._active: dict[int, "Process"] = {}
+
+    # -- clock --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered :class:`Event` bound to this environment."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
+        """An event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: _t.Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: _t.Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def process(self, generator: _t.Generator, name: str = "") -> "Process":
+        """Spawn a new simulated process from a generator."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Queue a triggered event for callback processing at ``now+delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    # -- run loop -----------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks or ():
+            callback(event)
+        if not event.ok and not event._defused:
+            # Nobody handled this failure: surface it instead of silently
+            # dropping a crashed process.
+            exc = event.value
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> _t.Any:
+        """Run until the queue drains, a deadline, or an event fires.
+
+        * ``until=None`` — drain the queue completely.
+        * ``until=<float>`` — run to that simulated time.
+        * ``until=<Event>`` — run until that event is processed and return
+          its value.  Raises :class:`DeadlockError` if the queue drains
+          first (the event can then never fire).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            target = until
+            done = []
+            target.add_callback(done.append)
+            while self._queue and not done:
+                self.step()
+            if not done:
+                raise DeadlockError(
+                    f"event queue drained before {target!r} fired",
+                    waiting=tuple(sorted(p.name for p in self._active.values())),
+                )
+            if not target.ok:
+                target.defuse()
+                raise target.value
+            return target.value
+
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(
+                f"run(until={deadline!r}) is in the past (now={self._now!r})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def register_process(self, process: "Process") -> None:
+        self._active[id(process)] = process
+
+    def unregister_process(self, process: "Process") -> None:
+        self._active.pop(id(process), None)
+
+    @property
+    def active_process_names(self) -> tuple[str, ...]:
+        """Names of processes that have started and not yet finished."""
+        return tuple(sorted(p.name for p in self._active.values()))
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now:g} pending={len(self._queue)}>"

@@ -1,0 +1,193 @@
+"""Events: the unit of causality in the simulation kernel.
+
+An :class:`Event` is a one-shot future.  Processes wait on events by
+``yield``-ing them; the environment resumes the process when the event fires.
+Events may *succeed* (carrying a value) or *fail* (carrying an exception that
+is re-raised inside every waiting process).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import SimulationError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+__all__ = ["PENDING", "Event", "Timeout", "AllOf", "AnyOf"]
+
+
+class _Pending:
+    """Sentinel for 'this event has not been triggered yet'."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot future bound to an :class:`Environment`.
+
+    Lifecycle::
+
+        created --(succeed/fail)--> triggered --(loop pops it)--> processed
+
+    ``callbacks`` run exactly once, at processing time, in registration
+    order.  After processing, newly added callbacks run immediately (so a
+    process can always safely wait on an already-finished event).
+    """
+
+    __slots__ = ("env", "name", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        self.name = name
+        self.callbacks: list[_t.Callable[[Event], None]] | None = []
+        self._value: _t.Any = PENDING
+        self._ok = True
+        # A failed event whose exception was delivered to at least one waiter
+        # is "defused"; undefused failures surface when the loop drains.
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event loop has run the callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> _t.Any:
+        """The success value or the failure exception."""
+        if self._value is PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: _t.Any = None, delay: float = 0.0) -> "Event":
+        """Mark the event successful and schedule callback processing."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed; waiters will see ``exception`` raised."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so the loop does not re-raise it."""
+        self._defused = True
+
+    # -- waiting -----------------------------------------------------------
+
+    def add_callback(self, callback: _t.Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event was already processed the callback runs synchronously.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = ("processed" if self.processed
+                 else "triggered" if self.triggered else "pending")
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: _t.Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env, name=f"timeout({delay:g})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: _t.Iterable[Event]):
+        super().__init__(env)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+        else:
+            for ev in self.events:
+                ev.add_callback(self._check)
+
+    def _collect(self) -> dict[Event, _t.Any]:
+        return {ev: ev.value for ev in self.events if ev.triggered and ev.ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; fails fast on child failure."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires (or fails)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self.succeed(self._collect())

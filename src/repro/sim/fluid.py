@@ -1,0 +1,296 @@
+"""Max-min fair-share fluid bandwidth model.
+
+Memory traffic is modelled as *flows* over capacity-limited *links* (one
+link per memory-device port).  At any instant, active flows receive rates
+according to weighted max-min fairness — the same progressive-filling
+abstraction network/HPC simulators such as SimGrid use.  This is what makes
+contention effects come out of the model instead of being scripted:
+
+* 64 STREAM threads on one device each get ~1/64 of its bandwidth;
+* a `memcpy` between devices is bottlenecked by the slower of the two ports
+  (so HBM→DDR4 costs slightly more than DDR4→HBM, Figure 7);
+* prefetch traffic slows concurrently running kernels, and vice versa.
+
+The model is event-driven: whenever the flow set changes, every flow's
+progress is advanced at its old rate, rates are recomputed, and the next
+completion is scheduled.  With the modest flow counts in our experiments
+(hundreds), the O(flows x links) recompute is cheap.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+from itertools import count
+
+from repro.errors import SimulationError
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+
+__all__ = ["Link", "Flow", "FluidNetwork"]
+
+#: Flows with fewer remaining bytes than this are considered complete.
+#: (Float progress integration leaves sub-byte residue.)
+_EPSILON_BYTES = 1e-3
+
+
+class Link:
+    """A capacity-limited pipe, e.g. the read port of a memory device."""
+
+    __slots__ = ("name", "capacity", "flows")
+
+    def __init__(self, name: str, capacity: float):
+        if capacity <= 0:
+            raise SimulationError(f"link {name!r} capacity must be > 0")
+        self.name = name
+        #: bytes per second
+        self.capacity = float(capacity)
+        self.flows: set["Flow"] = set()
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous fraction of capacity in use (post-recompute)."""
+        return sum(f.rate for f in self.flows) / self.capacity
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} cap={self.capacity:g} flows={len(self.flows)}>"
+
+
+class Flow:
+    """A transfer of ``nbytes`` across one or more links.
+
+    ``done`` is an Event that fires (with the flow) at completion time.
+    ``max_rate`` models per-requestor limits (e.g. a single core cannot
+    saturate MCDRAM by itself).
+    """
+
+    __slots__ = ("fid", "links", "remaining", "total", "weight", "max_rate",
+                 "rate", "done", "started_at", "finished_at")
+
+    def __init__(self, fid: int, links: tuple[Link, ...], nbytes: float,
+                 weight: float, max_rate: float, done: Event, now: float):
+        self.fid = fid
+        self.links = links
+        self.total = float(nbytes)
+        self.remaining = float(nbytes)
+        self.weight = float(weight)
+        self.max_rate = float(max_rate)
+        self.rate = 0.0
+        self.done = done
+        self.started_at = now
+        self.finished_at: float | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    def __repr__(self) -> str:
+        links = "+".join(l.name for l in self.links)
+        return (f"<Flow #{self.fid} {links} {self.remaining:.0f}/{self.total:.0f}B "
+                f"@{self.rate:g}B/s>")
+
+
+class FluidNetwork:
+    """The set of links plus the progressive-filling rate solver."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._links: dict[str, Link] = {}
+        self._flows: set[Flow] = set()
+        self._fid = count()
+        self._last_advance = env.now
+        # The pending "next completion" wakeup; superseded wakeups are
+        # detected by generation counting.
+        self._wake_generation = 0
+        #: total bytes moved to completion through this network
+        self.completed_bytes = 0.0
+        self.completed_flows = 0
+
+    # -- topology -------------------------------------------------------------
+
+    def add_link(self, name: str, capacity: float) -> Link:
+        if name in self._links:
+            raise SimulationError(f"duplicate link name {name!r}")
+        link = Link(name, capacity)
+        self._links[name] = link
+        return link
+
+    def link(self, name: str) -> Link:
+        try:
+            return self._links[name]
+        except KeyError:
+            raise SimulationError(f"unknown link {name!r}") from None
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        return tuple(self._links.values())
+
+    @property
+    def active_flows(self) -> frozenset[Flow]:
+        return frozenset(self._flows)
+
+    # -- flow lifecycle ---------------------------------------------------------
+
+    def start_flow(self, nbytes: float, links: _t.Sequence[Link | str],
+                   weight: float = 1.0, max_rate: float = math.inf) -> Flow:
+        """Begin a transfer; returns the Flow whose ``.done`` can be awaited."""
+        if nbytes < 0:
+            raise SimulationError(f"flow size must be >= 0, got {nbytes!r}")
+        if weight <= 0:
+            raise SimulationError(f"flow weight must be > 0, got {weight!r}")
+        resolved = tuple(self.link(l) if isinstance(l, str) else l for l in links)
+        if not resolved and nbytes > 0:
+            raise SimulationError("a non-empty flow needs at least one link")
+        done = self.env.event(name="flow.done")
+        flow = Flow(next(self._fid), resolved, nbytes, weight, max_rate,
+                    done, self.env.now)
+        if nbytes <= _EPSILON_BYTES:
+            flow.remaining = 0.0
+            flow.finished_at = self.env.now
+            self.completed_flows += 1
+            done.succeed(flow)
+            return flow
+        self._advance()
+        self._flows.add(flow)
+        for link in resolved:
+            link.flows.add(flow)
+        self._recompute_and_reschedule()
+        return flow
+
+    def cancel_flow(self, flow: Flow) -> None:
+        """Abort an in-flight flow; its ``done`` event fails."""
+        if flow not in self._flows:
+            return
+        self._advance()
+        self._detach(flow)
+        flow.finished_at = self.env.now
+        exc = SimulationError(f"flow #{flow.fid} cancelled")
+        flow.done.fail(exc)
+        flow.done.defuse()
+        self._recompute_and_reschedule()
+
+    # -- solver ------------------------------------------------------------------
+
+    def _detach(self, flow: Flow) -> None:
+        self._flows.discard(flow)
+        for link in flow.links:
+            link.flows.discard(flow)
+
+    def _advance(self) -> None:
+        """Integrate progress since the last rate change; finish flows."""
+        now = self.env.now
+        dt = now - self._last_advance
+        self._last_advance = now
+        if dt < 0:
+            raise SimulationError("fluid network clock went backwards")
+        finished: list[Flow] = []
+        if dt > 0:
+            for flow in self._flows:
+                flow.remaining -= flow.rate * dt
+                if flow.remaining <= _EPSILON_BYTES:
+                    flow.remaining = 0.0
+                    finished.append(flow)
+        for flow in sorted(finished, key=lambda f: f.fid):
+            self._detach(flow)
+            flow.finished_at = now
+            self.completed_bytes += flow.total
+            self.completed_flows += 1
+            flow.done.succeed(flow)
+
+    def _recompute(self) -> None:
+        """Weighted max-min fair allocation via progressive filling.
+
+        Each flow's personal ``max_rate`` is honoured by treating it as a
+        candidate bottleneck alongside its links.
+        """
+        unfrozen = set(self._flows)
+        for flow in unfrozen:
+            flow.rate = 0.0
+        residual = {link: link.capacity for link in self._links.values()}
+        live_weight = {link: sum(f.weight for f in link.flows if f in unfrozen)
+                       for link in self._links.values()}
+        # Repeated subtraction leaves ~1e-16 residues in live_weight and
+        # residual; a link whose flows all froze must read exactly empty,
+        # or its ~0/~0 ratio poisons the next bottleneck computation with
+        # an arbitrary (even negative) share.
+        weight_floor = 1e-9 * max(
+            (f.weight for f in self._flows), default=1.0)
+
+        while unfrozen:
+            # Fair share per unit weight on every still-loaded link.
+            bottleneck_share = math.inf
+            for link, cap in residual.items():
+                w = live_weight[link]
+                if w > weight_floor:
+                    bottleneck_share = min(bottleneck_share,
+                                           max(cap, 0.0) / w)
+            # Flows capped below the link share freeze at their cap first.
+            capped = [f for f in unfrozen
+                      if f.max_rate < bottleneck_share * f.weight]
+            if capped:
+                # Freeze the most-constrained capped flows, then re-iterate.
+                tightest = min(f.max_rate / f.weight for f in capped)
+                batch = [f for f in capped
+                         if f.max_rate / f.weight <= tightest * (1 + 1e-12)]
+                for flow in batch:
+                    flow.rate = flow.max_rate
+                    unfrozen.discard(flow)
+                    for link in flow.links:
+                        residual[link] -= flow.rate
+                        live_weight[link] -= flow.weight
+                continue
+            if not math.isfinite(bottleneck_share):
+                # Remaining flows traverse no loaded link: unconstrained
+                # except by their own caps (handled above), so they can
+                # only be flows with max_rate == inf and no links — which
+                # start_flow forbids for nbytes > 0.  Freeze at cap anyway.
+                for flow in unfrozen:
+                    flow.rate = flow.max_rate if math.isfinite(flow.max_rate) else 0.0
+                break
+            # Freeze every flow whose bottleneck link is saturated at this share.
+            saturated = [link for link, cap in residual.items()
+                         if live_weight[link] > weight_floor
+                         and max(cap, 0.0) / live_weight[link]
+                         <= bottleneck_share * (1 + 1e-12) + 1e-18]
+            froze_any = False
+            for link in saturated:
+                for flow in [f for f in link.flows if f in unfrozen]:
+                    flow.rate = bottleneck_share * flow.weight
+                    unfrozen.discard(flow)
+                    froze_any = True
+                    for l2 in flow.links:
+                        residual[l2] -= flow.rate
+                        live_weight[l2] -= flow.weight
+            if not froze_any:  # pragma: no cover - numeric safety valve
+                for flow in unfrozen:
+                    flow.rate = bottleneck_share * flow.weight
+                break
+
+    def _recompute_and_reschedule(self) -> None:
+        self._recompute()
+        self._wake_generation += 1
+        generation = self._wake_generation
+        horizon = math.inf
+        for flow in self._flows:
+            if flow.rate > 0:
+                horizon = min(horizon, flow.remaining / flow.rate)
+        if not math.isfinite(horizon):
+            return
+        wake = self.env.timeout(max(horizon, 0.0))
+        wake.add_callback(lambda _ev: self._on_wake(generation))
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._wake_generation:
+            return  # superseded by a later flow-set change
+        self._advance()
+        self._recompute_and_reschedule()
+
+    # -- instantaneous queries ------------------------------------------------
+
+    def instantaneous_rate(self, flow: Flow) -> float:
+        """Current fair-share rate of an active flow (B/s)."""
+        return flow.rate
+
+    def snapshot(self) -> dict[str, float]:
+        """Per-link utilisation snapshot for tracing."""
+        return {name: link.utilization for name, link in self._links.items()}

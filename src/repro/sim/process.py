@@ -1,0 +1,113 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` drives a generator: each ``yield``-ed :class:`Event`
+suspends the process until the event fires.  A process is itself an event
+that fires when the generator returns (value = the generator's return value)
+or raises (failure).  This lets processes wait on each other::
+
+    def child(env):
+        yield env.timeout(1.0)
+        return 42
+
+    def parent(env):
+        result = yield env.process(child(env))
+        assert result == 42
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ProcessKilled, SimulationError
+from repro.sim.environment import URGENT, Environment
+from repro.sim.events import Event, PENDING
+
+__all__ = ["Process"]
+
+
+class _Init(Event):
+    """Internal bootstrap event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment):
+        super().__init__(env, name="init")
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running generator coroutine inside the simulation."""
+
+    __slots__ = ("generator", "_target")
+
+    def __init__(self, env: Environment, generator: _t.Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}; "
+                "did you forget a 'yield'?")
+        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        #: the event this process is currently waiting on (None if running/finished)
+        self._target: Event | None = None
+        env.register_process(self)
+        _Init(env).add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def waiting_on(self) -> Event | None:
+        """The event this process is blocked on, for diagnostics."""
+        return self._target
+
+    def interrupt(self, cause: _t.Any = None) -> None:
+        """Kill the process by throwing :class:`ProcessKilled` into it."""
+        if not self.is_alive:
+            return
+        kill = self.env.event(name=f"interrupt({self.name})")
+        kill.fail(ProcessKilled(cause if cause is not None else self.name))
+        kill.defuse()
+        # Detach from whatever it was waiting on and resume with the failure.
+        kill.add_callback(self._resume)
+
+    # -- driving the generator ------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        self._target = None
+        try:
+            if event.ok:
+                next_event = self.generator.send(event.value)
+            else:
+                event.defuse()
+                next_event = self.generator.throw(event.value)
+        except StopIteration as stop:
+            self.env.unregister_process(self)
+            self.succeed(stop.value)
+            return
+        except ProcessKilled as killed:
+            self.env.unregister_process(self)
+            self._ok = False
+            self._value = killed
+            self._defused = True
+            self.env.schedule(self)
+            return
+        except BaseException as exc:
+            self.env.unregister_process(self)
+            self.fail(exc)
+            return
+
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {next_event!r}; processes may "
+                "only yield Event instances")
+        if next_event.env is not self.env:
+            raise SimulationError(
+                f"process {self.name!r} yielded an event from another environment")
+        self._target = next_event
+        next_event.add_callback(self._resume)

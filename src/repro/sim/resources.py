@@ -1,0 +1,150 @@
+"""Queued resources: stores and counted resources.
+
+These are the building blocks for the runtime's message queues.  ``Store``
+is an unbounded FIFO channel with blocking ``get``; ``PriorityStore`` pops
+the smallest item; ``Resource`` models N interchangeable slots.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from collections import deque
+from itertools import count
+
+from repro.errors import SimulationError
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+
+__all__ = ["Store", "PriorityStore", "Resource"]
+
+
+class Store:
+    """Unbounded FIFO channel.
+
+    ``put(item)`` never blocks.  ``get()`` returns an event that fires with
+    the next item (immediately if one is queued).  Getters are served FIFO.
+    """
+
+    def __init__(self, env: Environment, name: str = "store"):
+        self.env = env
+        self.name = name
+        self._items: deque[_t.Any] = deque()
+        self._getters: deque[Event] = deque()
+        self.total_puts = 0
+        self.total_gets = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (for inspection only)."""
+        return tuple(self._items)
+
+    def put(self, item: _t.Any) -> None:
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = self.env.event(name=f"{self.name}.get")
+        self.total_gets += 1
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> _t.Any | None:
+        """Non-blocking pop; returns None when empty."""
+        if self._items:
+            self.total_gets += 1
+            return self._items.popleft()
+        return None
+
+
+class PriorityStore(Store):
+    """A store that pops the smallest item (heap order, FIFO among equals)."""
+
+    def __init__(self, env: Environment, name: str = "pstore"):
+        super().__init__(env, name=name)
+        self._heap: list[tuple[_t.Any, int, _t.Any]] = []
+        self._seq = count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def items(self) -> tuple:
+        return tuple(item for _, _, item in sorted(self._heap))
+
+    def put(self, item: _t.Any, priority: _t.Any = None) -> None:
+        key = item if priority is None else priority
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            heapq.heappush(self._heap, (key, next(self._seq), item))
+
+    def get(self) -> Event:
+        ev = self.env.event(name=f"{self.name}.get")
+        self.total_gets += 1
+        if self._heap:
+            ev.succeed(heapq.heappop(self._heap)[2])
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> _t.Any | None:
+        if self._heap:
+            self.total_gets += 1
+            return heapq.heappop(self._heap)[2]
+        return None
+
+
+class Resource:
+    """N interchangeable slots with FIFO grant order.
+
+    ``request()`` yields until a slot is free; ``release()`` frees one.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        ev = self.env.event(name=f"{self.name}.request")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1

@@ -1,0 +1,54 @@
+"""Typed trace records."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = ["TraceCategory", "TraceEvent"]
+
+
+class TraceCategory(enum.Enum):
+    """What a PE (or IO thread) was doing during an interval.
+
+    The Projections colour legend of Figures 5-6 maps onto these:
+    *compute kernel* bars are ``EXECUTE``; the "red portion... wait time
+    caused due to delays from scheduling tasks, data prefetch, eviction and
+    locking of queues and data blocks" is PE idle time plus the overhead
+    categories.
+    """
+
+    #: entry-method execution (the useful work)
+    EXECUTE = "execute"
+    #: synchronous data fetch in a task's pre-processing step (no-IO strategy)
+    PREPROCESS_FETCH = "preprocess_fetch"
+    #: synchronous eviction in a task's post-processing step
+    POSTPROCESS_EVICT = "postprocess_evict"
+    #: an IO thread fetching a block into HBM
+    IO_FETCH = "io_fetch"
+    #: an IO thread (or worker) evicting a block to DDR
+    IO_EVICT = "io_evict"
+    #: waiting to acquire a queue or block lock
+    LOCK_WAIT = "lock_wait"
+    #: converse scheduling bookkeeping
+    SCHEDULING = "scheduling"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One closed interval on one PE/IO-thread lane."""
+
+    lane: str            # "pe3" or "io3"
+    category: TraceCategory
+    start: float
+    end: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"trace event ends before it starts ({self.start}..{self.end})")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start

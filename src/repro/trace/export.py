@@ -1,0 +1,44 @@
+"""Trace export: JSON (Chrome-trace-like) and CSV."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.trace.tracer import Tracer
+
+__all__ = ["to_json", "to_csv"]
+
+
+def to_json(tracer: Tracer, *, indent: int | None = None) -> str:
+    """Serialise events in a Chrome ``trace_event``-compatible layout.
+
+    Each interval becomes a complete ("X") event with microsecond
+    timestamps, so the output loads in ``chrome://tracing`` / Perfetto.
+    """
+    records = [
+        {
+            "name": ev.label or ev.category.value,
+            "cat": ev.category.value,
+            "ph": "X",
+            "pid": 0,
+            "tid": ev.lane,
+            "ts": ev.start * 1e6,
+            "dur": ev.duration * 1e6,
+        }
+        for ev in tracer.events
+    ]
+    return json.dumps({"traceEvents": records}, indent=indent)
+
+
+def to_csv(tracer: Tracer) -> str:
+    """Serialise events as CSV: lane, category, start, end, duration, label."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["lane", "category", "start_s", "end_s", "duration_s", "label"])
+    for ev in tracer.events:
+        writer.writerow([ev.lane, ev.category.value,
+                         f"{ev.start:.9f}", f"{ev.end:.9f}",
+                         f"{ev.duration:.9f}", ev.label])
+    return buffer.getvalue()

@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_stream_command(self, capsys):
+        assert main(["stream", "--threads", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig1" in out and "mcdram" in out
+
+    def test_stencil_command(self, capsys):
+        code = main(["stencil", "--strategy", "no-io", "--cores", "8",
+                     "--mcdram", "128MiB", "--ddr", "1GiB",
+                     "--total", "256MiB", "--block", "8MiB",
+                     "--iterations", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tasks_completed : 32" in out
+
+    def test_matmul_command(self, capsys):
+        code = main(["matmul", "--strategy", "naive", "--cores", "8",
+                     "--mcdram", "128MiB", "--ddr", "1GiB",
+                     "--working-set", "64MiB", "--block-dim", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy        : naive" in out
+
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "--figures", "fig1"]) == 0
+        assert "Fig1" in capsys.readouterr().out
+
+    def test_experiments_unknown_figure(self, capsys):
+        assert main(["experiments", "--figures", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stencil", "--strategy", "wishful"])

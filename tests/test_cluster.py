@@ -1,0 +1,114 @@
+"""Tests for the multi-node cluster extension."""
+
+import pytest
+
+from repro.apps.stencil3d import StencilConfig
+from repro.cluster import Cluster, ClusterStencil, FabricConfig
+from repro.errors import ConfigError
+from repro.units import GiB, MiB
+
+NODE_KW = dict(strategy="multi-io", cores=8, mcdram_capacity=256 * MiB,
+               ddr_capacity=2 * GiB, trace=False)
+
+
+class TestClusterConstruction:
+    def test_nodes_share_one_environment(self):
+        cluster = Cluster(3, **NODE_KW)
+        envs = {built.env for built in cluster.nodes}
+        assert envs == {cluster.env}
+        assert len(cluster) == 3
+
+    def test_each_node_has_own_stack(self):
+        cluster = Cluster(2, **NODE_KW)
+        a, b = cluster.nodes
+        assert a.machine is not b.machine
+        assert a.manager is not b.manager
+        assert a.strategy is not b.strategy
+
+    def test_fabric_links_per_node(self):
+        cluster = Cluster(2, **NODE_KW)
+        names = {link.name for link in cluster.fabric.links}
+        assert names == {"n0.out", "n0.in", "n1.out", "n1.in"}
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigError):
+            Cluster(0, **NODE_KW)
+
+    def test_invalid_fabric_rejected(self):
+        with pytest.raises(ConfigError):
+            FabricConfig(link_bandwidth=0)
+
+
+class TestRemoteSend:
+    def test_local_send_is_immediate(self):
+        cluster = Cluster(2, **NODE_KW)
+        delivered = []
+        cluster.send_remote(0, 0, 1000, lambda: delivered.append(True))
+        assert delivered == [True]
+        assert cluster.remote_messages == 0
+
+    def test_remote_send_charges_latency_and_bandwidth(self):
+        cluster = Cluster(2, **NODE_KW)
+        fabric = cluster.fabric_config
+        delivered = []
+        nbytes = 125_000_000  # 10 ms at 12.5 GB/s
+        cluster.send_remote(0, 1, nbytes,
+                            lambda: delivered.append(cluster.env.now))
+        cluster.env.run()
+        expected = nbytes / fabric.link_bandwidth + fabric.latency
+        assert delivered[0] == pytest.approx(expected, rel=1e-6)
+        assert cluster.remote_bytes == nbytes
+
+    def test_concurrent_sends_contend_on_egress(self):
+        cluster = Cluster(3, **NODE_KW)
+        done_times = {}
+        nbytes = 125_000_000
+        for dst in (1, 2):
+            cluster.send_remote(0, dst, nbytes,
+                                lambda d=dst: done_times.setdefault(
+                                    d, cluster.env.now))
+        cluster.env.run()
+        # both flows share n0.out -> each takes ~2x the lone-flow time
+        lone = nbytes / cluster.fabric_config.link_bandwidth
+        assert done_times[1] == pytest.approx(2 * lone, rel=0.01)
+
+
+class TestClusterStencil:
+    def test_runs_and_counts_halos(self):
+        cluster = Cluster(2, **NODE_KW)
+        cfg = StencilConfig(total_bytes=512 * MiB, block_bytes=32 * MiB,
+                            iterations=2)
+        result = ClusterStencil(cluster, cfg).run()
+        # 1 internal boundary x 2 directions x 2 iterations
+        assert result.remote_messages == 4
+        assert result.total_time > 0
+        assert len(result.iteration_times) == 2
+
+    def test_all_nodes_complete_their_slabs(self):
+        cluster = Cluster(2, **NODE_KW)
+        cfg = StencilConfig(total_bytes=512 * MiB, block_bytes=32 * MiB,
+                            iterations=2)
+        app = ClusterStencil(cluster, cfg)
+        app.run()
+        for local in app.apps:
+            assert sum(c._tasks_done for c in local.array) == \
+                cfg.n_chares * cfg.iterations
+
+    def test_single_node_cluster_has_no_remote_traffic(self):
+        cluster = Cluster(1, **NODE_KW)
+        cfg = StencilConfig(total_bytes=256 * MiB, block_bytes=32 * MiB,
+                            iterations=1)
+        result = ClusterStencil(cluster, cfg).run()
+        assert result.remote_messages == 0
+
+    def test_weak_scaling_iteration_time_stable(self):
+        """Per-node work constant: iteration time grows only mildly with
+        node count (halo cost), the weak-scaling property."""
+        def mean_iter(n):
+            cluster = Cluster(n, **NODE_KW)
+            cfg = StencilConfig(total_bytes=256 * MiB,
+                                block_bytes=16 * MiB, iterations=2)
+            return ClusterStencil(cluster, cfg).run().mean_iteration_time
+
+        one, four = mean_iter(1), mean_iter(4)
+        assert four < one * 1.5

@@ -1,0 +1,34 @@
+"""Smoke tests: the fast example scripts must run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "strategy            : multi-io" in out
+        assert "tasks completed     : 192" in out
+
+    def test_stream_bandwidth(self):
+        out = run_example("stream_bandwidth.py")
+        assert "ratio=4.75x" in out
+        assert "hbm-only" in out
+
+    @pytest.mark.slow
+    def test_cache_mode_ablation(self):
+        out = run_example("cache_mode_ablation.py", timeout=600)
+        assert "flat wins by" in out

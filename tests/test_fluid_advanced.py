@@ -1,0 +1,84 @@
+"""Advanced fluid-model scenarios: the contention patterns the paper's
+results hinge on, verified in isolation."""
+
+import pytest
+
+from repro.sim.environment import Environment
+from repro.sim.fluid import FluidNetwork
+
+
+def knl_like_network():
+    env = Environment()
+    net = FluidNetwork(env)
+    net.add_link("ddr.read", 90.0)
+    net.add_link("ddr.write", 80.0)
+    net.add_link("hbm.read", 460.0)
+    net.add_link("hbm.write", 380.0)
+    return env, net
+
+
+class TestPrefetchKernelInterference:
+    def test_prefetch_traffic_slows_ddr_kernels(self):
+        """Naive's DDR4 kernels and prefetch fetches share ddr.read."""
+        env, net = knl_like_network()
+        # a DDR-resident kernel reading 45 units
+        kernel = net.start_flow(45.0, ["ddr.read"])
+        # prefetch traffic: 45 units DDR->HBM
+        fetch = net.start_flow(45.0, ["ddr.read", "hbm.write"])
+        env.run()
+        # both get 45 GB/s of ddr.read -> 1.0s; alone each would take 0.5s
+        assert kernel.finished_at == pytest.approx(1.0)
+        assert fetch.finished_at == pytest.approx(1.0)
+
+    def test_hbm_kernels_unaffected_by_ddr_prefetch(self):
+        env, net = knl_like_network()
+        kernel = net.start_flow(380.0, ["hbm.read"])
+        net.start_flow(80.0, ["ddr.read", "hbm.write"])
+        env.run(until=kernel.done)
+        # hbm.read uncontended: 380/460 s
+        assert env.now == pytest.approx(380.0 / 460.0, rel=1e-6)
+
+    def test_eviction_and_fetch_use_disjoint_ddr_ports(self):
+        """Fetch (ddr.read) and evict (ddr.write) overlap fully."""
+        env, net = knl_like_network()
+        fetch = net.start_flow(90.0, ["ddr.read", "hbm.write"])
+        evict = net.start_flow(80.0, ["hbm.read", "ddr.write"])
+        env.run()
+        assert fetch.finished_at == pytest.approx(1.0)
+        assert evict.finished_at == pytest.approx(1.0)
+
+
+class TestSerialVsParallelMovers:
+    def test_one_capped_mover_cannot_saturate_ddr(self):
+        """The single-IO-thread effect: one 5 GB/s memcpy pipe against a
+        90 GB/s port leaves 94% of the bandwidth idle."""
+        env, net = knl_like_network()
+        flow = net.start_flow(5.0, ["ddr.read", "hbm.write"], max_rate=5.0)
+        env.run(until=flow.done)
+        assert env.now == pytest.approx(1.0)
+        assert net.link("ddr.read").capacity == 90.0
+
+    def test_64_capped_movers_reach_wire_speed(self):
+        env, net = knl_like_network()
+        flows = [net.start_flow(90.0 / 64, ["ddr.read", "hbm.write"],
+                                max_rate=5.0) for _ in range(64)]
+        env.run()
+        # aggregate demand 64*5 = 320 > 90 -> port-bound: total bytes 90
+        # at 90 GB/s = 1.0s
+        assert max(f.finished_at for f in flows) == pytest.approx(1.0)
+
+
+class TestUtilizationSnapshot:
+    def test_snapshot_reports_all_links(self):
+        env, net = knl_like_network()
+        net.start_flow(10.0, ["ddr.read"])
+        snap = net.snapshot()
+        assert set(snap) == {"ddr.read", "ddr.write", "hbm.read",
+                             "hbm.write"}
+        assert snap["ddr.read"] == pytest.approx(1.0)  # lone flow, full port
+        assert snap["hbm.read"] == 0.0
+
+    def test_link_utilization_under_cap(self):
+        env, net = knl_like_network()
+        net.start_flow(10.0, ["ddr.read"], max_rate=9.0)
+        assert net.link("ddr.read").utilization == pytest.approx(0.1)

@@ -1,0 +1,102 @@
+"""Unit tests for DataBlock (the CkIOHandle analog)."""
+
+import pytest
+
+from repro.errors import BlockStateError
+from repro.mem.block import AccessIntent, BlockState, DataBlock
+
+
+class TestAccessIntent:
+    def test_reads_writes_matrix(self):
+        assert AccessIntent.READONLY.reads and not AccessIntent.READONLY.writes
+        assert AccessIntent.READWRITE.reads and AccessIntent.READWRITE.writes
+        assert not AccessIntent.WRITEONLY.reads and AccessIntent.WRITEONLY.writes
+
+
+class TestRefcount:
+    def test_starts_at_zero(self):
+        block = DataBlock("b", 100)
+        assert block.refcount == 0
+        assert not block.in_use
+
+    def test_retain_release_cycle(self):
+        block = DataBlock("b", 100)
+        assert block.retain() == 1
+        assert block.retain() == 2
+        assert block.in_use
+        assert block.release() == 1
+        assert block.release() == 0
+        assert not block.in_use
+
+    def test_release_underflow_raises(self):
+        with pytest.raises(BlockStateError):
+            DataBlock("b", 100).release()
+
+    def test_retain_records_schedule_time(self):
+        block = DataBlock("b", 100)
+        block.retain(now=12.5)
+        assert block.last_scheduled_at == 12.5
+
+
+class TestDemand:
+    def test_demand_counts_pending_tasks(self):
+        block = DataBlock("b", 100)
+        block.add_demand(5)
+        block.add_demand(9)
+        assert block.demand == 2
+
+    def test_next_use_is_min_pending_serial(self):
+        block = DataBlock("b", 100)
+        block.add_demand(9)
+        block.add_demand(5)
+        block.add_demand(7)
+        assert block.next_use == 5
+        block.drop_demand(5)
+        assert block.next_use == 7
+
+    def test_next_use_sentinel_when_idle(self):
+        block = DataBlock("b", 100)
+        assert block.next_use == 1 << 62
+
+    def test_drop_unknown_serial_raises(self):
+        block = DataBlock("b", 100)
+        with pytest.raises(BlockStateError):
+            block.drop_demand(3)
+
+    def test_next_use_cache_updates_on_smaller_add(self):
+        block = DataBlock("b", 100)
+        block.add_demand(10)
+        assert block.next_use == 10
+        block.add_demand(2)
+        assert block.next_use == 2
+
+
+class TestStateMachine:
+    def test_default_state_is_inddr(self):
+        assert DataBlock("b", 8).state is BlockState.INDDR
+
+    def test_begin_move_twice_raises(self):
+        block = DataBlock("b", 8)
+        block.begin_move()
+        with pytest.raises(BlockStateError):
+            block.begin_move()
+
+    def test_settle_needs_concrete_state(self):
+        block = DataBlock("b", 8)
+        block.begin_move()
+        with pytest.raises(BlockStateError):
+            block.settle(None, BlockState.MOVING)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(BlockStateError):
+            DataBlock("b", -1)
+
+    def test_state_predicates(self):
+        block = DataBlock("b", 8)
+        assert block.in_ddr and not block.in_hbm and not block.moving
+        block.begin_move()
+        assert block.moving
+
+    def test_unique_ids(self):
+        a, b = DataBlock("a", 1), DataBlock("b", 1)
+        assert a.bid != b.bid

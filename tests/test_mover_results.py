@@ -1,0 +1,58 @@
+"""Tests for DataMover result collection and MoveResult metrics."""
+
+import math
+
+import pytest
+
+from repro.machine.knl import build_knl
+from repro.mem.block import DataBlock
+from repro.mem.mover import MoveResult
+from repro.sim.environment import Environment
+from repro.units import GiB, MiB
+
+
+@pytest.fixture
+def node():
+    return build_knl(Environment(), mcdram_capacity=GiB, ddr_capacity=4 * GiB)
+
+
+def place(node, name, nbytes, device):
+    block = DataBlock(name, nbytes)
+    node.registry.register(block)
+    node.topology.place_block(block, device)
+    return block
+
+
+class TestMoveResultCollection:
+    def test_results_not_kept_by_default(self, node):
+        block = place(node, "b", MiB, node.ddr)
+        node.env.run(until=node.env.process(node.mover.move(block, node.hbm)))
+        assert node.mover.results == []
+
+    def test_results_kept_when_enabled(self, node):
+        node.mover.keep_results = True
+        block = place(node, "b", MiB, node.ddr)
+        result = node.env.run(
+            until=node.env.process(node.mover.move(block, node.hbm)))
+        assert node.mover.results == [result]
+        assert isinstance(result, MoveResult)
+
+    def test_effective_bandwidth_metric(self):
+        r = MoveResult(block=None, src="a", dst="b", nbytes=10_000,
+                       started_at=0.0, finished_at=2.0,
+                       alloc_time=0.5, copy_time=1.0, free_time=0.5)
+        assert r.total_time == 2.0
+        assert r.effective_bandwidth == 10_000 / 1.0
+
+    def test_zero_copy_time_bandwidth_is_inf(self):
+        r = MoveResult(block=None, src="a", dst="b", nbytes=0,
+                       started_at=0.0, finished_at=0.0,
+                       alloc_time=0.0, copy_time=0.0, free_time=0.0)
+        assert math.isinf(r.effective_bandwidth)
+
+    def test_migrate_pages_results_kept(self, node):
+        node.mover.keep_results = True
+        block = place(node, "b", MiB, node.ddr)
+        node.env.run(until=node.env.process(
+            node.mover.move_migrate_pages(block, node.hbm)))
+        assert len(node.mover.results) == 1

@@ -1,0 +1,97 @@
+"""Tests for chare migration and measured-load rebalancing."""
+
+import pytest
+
+from repro.errors import ChareError, RuntimeModelError
+from repro.machine.knl import build_knl
+from repro.runtime.chare import Chare
+from repro.runtime.entry import entry
+from repro.runtime.runtime import CharmRuntime
+from repro.sim.environment import Environment
+from repro.units import GiB
+
+
+def make_runtime(cores=4):
+    node = build_knl(Environment(), cores=cores, mcdram_capacity=GiB,
+                     ddr_capacity=4 * GiB)
+    return CharmRuntime(node)
+
+
+class Skewed(Chare):
+    @entry
+    def burn(self, seconds, reducer):
+        yield self.runtime.env.timeout(seconds)
+        reducer.contribute()
+
+
+class TestMigration:
+    def test_migrate_routes_future_messages(self):
+        rt = make_runtime()
+        arr = rt.create_array(Skewed, 4)
+        chare = arr[(0,)]
+        original = chare.pe_id
+        target = (original + 1) % len(rt.pes)
+        rt.migrate(chare, target)
+        red = rt.reducer(1)
+        arr.send(0, "burn", 0.1, red)
+        rt.run_until(red.done)
+        assert rt.pes[target].tasks_executed == 1
+        assert rt.pes[original].tasks_executed == 0
+
+    def test_migrate_validates_pe(self):
+        rt = make_runtime()
+        arr = rt.create_array(Skewed, 1)
+        with pytest.raises(RuntimeModelError):
+            rt.migrate(arr[(0,)], 99)
+
+    def test_migrate_foreign_chare_rejected(self):
+        rt1, rt2 = make_runtime(), make_runtime()
+        arr = rt1.create_array(Skewed, 1)
+        with pytest.raises(ChareError):
+            rt2.migrate(arr[(0,)], 0)
+
+
+class TestRebalance:
+    def test_measured_load_accumulates(self):
+        rt = make_runtime(cores=1)
+        arr = rt.create_array(Skewed, 2)
+        red = rt.reducer(2)
+        arr.send(0, "burn", 0.3, red)
+        arr.send(1, "burn", 0.1, red)
+        rt.run_until(red.done)
+        assert arr[(0,)]._measured_load == pytest.approx(0.3, abs=1e-6)
+        assert arr[(1,)]._measured_load == pytest.approx(0.1, abs=1e-6)
+
+    def test_rebalance_reduces_imbalance(self):
+        rt = make_runtime(cores=2)
+        # 4 chares, round-robin puts (0,),(2,) on pe0 and (1,),(3,) on pe1;
+        # make pe0's chares heavy
+        arr = rt.create_array(Skewed, 4)
+        red = rt.reducer(4)
+        weights = {(0,): 1.0, (2,): 1.0, (1,): 0.1, (3,): 0.1}
+        for idx, w in weights.items():
+            arr.send(idx, "burn", w, red)
+        rt.run_until(red.done)
+        mapping = rt.rebalance(arr)
+        # the two heavy chares must land on different PEs
+        assert mapping[(0,)] != mapping[(2,)]
+        # loads were reset
+        assert all(c._measured_load == 0.0 for c in arr)
+
+    def test_second_wave_after_rebalance_faster(self):
+        rt = make_runtime(cores=2)
+        arr = rt.create_array(Skewed, 4)
+        weights = {(0,): 0.5, (2,): 0.5, (1,): 0.05, (3,): 0.05}
+        red = rt.reducer(4)
+        for idx, w in weights.items():
+            arr.send(idx, "burn", w, red)
+        rt.run_until(red.done)
+        unbalanced_wave = rt.env.now
+        rt.rebalance(arr)
+        red2 = rt.reducer(4)
+        start = rt.env.now
+        for idx, w in weights.items():
+            arr.send(idx, "burn", w, red2)
+        rt.run_until(red2.done)
+        balanced_wave = rt.env.now - start
+        assert balanced_wave < unbalanced_wave

@@ -1,0 +1,85 @@
+"""Unit tests for Message metadata and PE accounting."""
+
+import pytest
+
+from repro.machine.knl import build_knl
+from repro.runtime.chare import Chare
+from repro.runtime.entry import entry
+from repro.runtime.message import Message
+from repro.runtime.pe import PE
+from repro.runtime.runtime import CharmRuntime
+from repro.sim.environment import Environment
+from repro.units import GiB
+
+
+class Thing(Chare):
+    @entry
+    def poke(self):
+        pass
+
+
+def make_pe():
+    env = Environment()
+    node = build_knl(env, cores=1, mcdram_capacity=GiB, ddr_capacity=2 * GiB)
+    return env, PE(env, 0, node.cores[0])
+
+
+class TestMessage:
+    def test_queue_delay_none_until_delivered(self):
+        chare = Thing()
+        msg = Message(chare, Thing._entry_specs["poke"], created_at=1.0)
+        assert msg.queue_delay is None
+        msg.delivered_at = 3.5
+        assert msg.queue_delay == 2.5
+
+    def test_unique_ids(self):
+        chare = Thing()
+        spec = Thing._entry_specs["poke"]
+        assert Message(chare, spec).mid != Message(chare, spec).mid
+
+    def test_repr_includes_target_and_entry(self):
+        chare = Thing()
+        text = repr(Message(chare, Thing._entry_specs["poke"]))
+        assert "poke" in text
+
+
+class TestPE:
+    def test_wait_queue_fifo_and_requeue(self):
+        _, pe = make_pe()
+        pe.wait_enqueue("a")
+        pe.wait_enqueue("b")
+        assert pe.wait_dequeue() == "a"
+        pe.wait_requeue_front("a")
+        assert pe.wait_dequeue() == "a"
+        assert pe.wait_depth == 1
+
+    def test_empty_dequeue_returns_none(self):
+        _, pe = make_pe()
+        assert pe.wait_dequeue() is None
+
+    def test_idle_time_accounting(self):
+        env, pe = make_pe()
+        pe.started_at = 0.0
+        env.run(until=10.0)
+        pe.note_busy(4.0)
+        pe.note_overhead(1.0)
+        pe.stopped_at = 10.0
+        assert pe.wall_time == 10.0
+        assert pe.idle_time == 5.0
+
+    def test_wall_time_zero_before_start(self):
+        _, pe = make_pe()
+        assert pe.wall_time == 0.0
+
+
+class TestRuntimeStats:
+    def test_busy_and_overhead_totals(self):
+        env = Environment()
+        node = build_knl(env, cores=2, mcdram_capacity=GiB,
+                         ddr_capacity=2 * GiB)
+        rt = CharmRuntime(node)
+        assert rt.total_busy_time() == 0.0
+        rt.pes[0].note_busy(1.5)
+        rt.pes[1].note_overhead(0.5)
+        assert rt.total_busy_time() == 1.5
+        assert rt.total_overhead_time() == 0.5

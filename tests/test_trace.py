@@ -1,0 +1,149 @@
+"""Unit tests for tracing, projections aggregation, rendering, export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.sim.environment import Environment
+from repro.trace.events import TraceCategory, TraceEvent
+from repro.trace.export import to_csv, to_json
+from repro.trace.projections import build_report
+from repro.trace.render import render_timeline, render_usage_bars
+from repro.trace.tracer import Tracer
+
+
+@pytest.fixture
+def tracer():
+    env = Environment()
+    t = Tracer(env)
+    t.record("pe0", TraceCategory.EXECUTE, 0.0, 4.0, "kernel-a")
+    t.record("pe0", TraceCategory.PREPROCESS_FETCH, 4.0, 5.0, "fetch-a")
+    t.record("pe1", TraceCategory.EXECUTE, 1.0, 2.0, "kernel-b")
+    t.record("io0", TraceCategory.IO_FETCH, 0.0, 3.0, "fetch-b")
+    return t
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        ev = TraceEvent("pe0", TraceCategory.EXECUTE, 1.0, 3.5)
+        assert ev.duration == 2.5
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent("pe0", TraceCategory.EXECUTE, 3.0, 1.0)
+
+
+class TestTracer:
+    def test_lanes_sorted(self, tracer):
+        assert tracer.lanes() == ["io0", "pe0", "pe1"]
+
+    def test_total_time_by_category(self, tracer):
+        assert tracer.total_time(TraceCategory.EXECUTE) == 5.0
+        assert tracer.total_time(TraceCategory.EXECUTE, lane="pe0") == 4.0
+
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(Environment(), enabled=False)
+        t.record("pe0", TraceCategory.EXECUTE, 0.0, 1.0)
+        assert len(t) == 0
+
+    def test_begin_finish_helper(self):
+        env = Environment()
+        t = Tracer(env)
+        mark = t.begin()
+        env.run(until=2.0)
+        duration = t.finish(mark, "pe0", TraceCategory.EXECUTE)
+        assert duration == 2.0
+        assert t.events[0].end == 2.0
+
+    def test_clear(self, tracer):
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestProjections:
+    def test_window_defaults_to_latest_event(self, tracer):
+        report = build_report(tracer)
+        assert report.window == 5.0
+
+    def test_category_totals_per_lane(self, tracer):
+        report = build_report(tracer)
+        pe0 = report.lanes["pe0"]
+        assert pe0.execute == 4.0
+        assert pe0.preprocess_fetch == 1.0
+        assert pe0.idle == 0.0
+
+    def test_idle_accounts_for_gaps(self, tracer):
+        pe1 = build_report(tracer).lanes["pe1"]
+        assert pe1.execute == 1.0
+        assert pe1.idle == 4.0
+        assert pe1.utilization == pytest.approx(0.2)
+
+    def test_wait_fraction_combines_idle_and_overhead(self, tracer):
+        pe0 = build_report(tracer).lanes["pe0"]
+        # overhead (1.0) / window (5.0)
+        assert pe0.wait_fraction == pytest.approx(0.2)
+
+    def test_clipping_to_window(self, tracer):
+        report = build_report(tracer, start=1.0, end=3.0)
+        assert report.lanes["pe0"].execute == 2.0
+        assert report.lanes["pe1"].execute == 1.0
+
+    def test_worker_and_io_lane_split(self, tracer):
+        report = build_report(tracer)
+        assert [tl.lane for tl in report.worker_lanes] == ["pe0", "pe1"]
+        assert [tl.lane for tl in report.io_lanes] == ["io0"]
+
+    def test_mean_metrics(self, tracer):
+        report = build_report(tracer)
+        assert report.mean_utilization() == pytest.approx((0.8 + 0.2) / 2)
+        assert 0.0 < report.mean_wait_fraction() < 1.0
+
+    def test_preprocess_per_task(self, tracer):
+        report = build_report(tracer)
+        per_task = report.mean_preprocess_per_task({"pe0": 2, "pe1": 1})
+        assert per_task == pytest.approx(1.0 / 3)
+
+    def test_summary_rows(self, tracer):
+        rows = build_report(tracer).summary_rows()
+        assert [r["lane"] for r in rows] == ["io0", "pe0", "pe1"]
+        assert all("utilization" in r for r in rows)
+
+
+class TestRendering:
+    def test_timeline_contains_lanes_and_legend(self, tracer):
+        art = render_timeline(tracer, width=40)
+        assert "pe0" in art and "io0" in art
+        assert "legend:" in art
+        assert "#" in art  # execute glyph present
+
+    def test_empty_timeline(self):
+        art = render_timeline(Tracer(Environment()))
+        assert art == "(empty timeline)"
+
+    def test_usage_bars(self, tracer):
+        art = render_usage_bars(build_report(tracer), width=20)
+        assert "util" in art and "wait" in art
+        assert "pe0" in art
+
+    def test_timeline_lane_filter(self, tracer):
+        art = render_timeline(tracer, width=20, lanes=["pe0"])
+        assert "pe0" in art and "pe1" not in art
+
+
+class TestExport:
+    def test_json_chrome_trace_shape(self, tracer):
+        doc = json.loads(to_json(tracer))
+        events = doc["traceEvents"]
+        assert len(events) == 4
+        first = events[0]
+        assert first["ph"] == "X"
+        assert first["ts"] == 0.0
+        assert first["dur"] == 4.0e6  # microseconds
+
+    def test_csv_round_trip(self, tracer):
+        rows = list(csv.DictReader(io.StringIO(to_csv(tracer))))
+        assert len(rows) == 4
+        assert rows[0]["lane"] == "pe0"
+        assert float(rows[0]["duration_s"]) == 4.0

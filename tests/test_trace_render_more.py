@@ -1,0 +1,51 @@
+"""Additional rendering tests: glyph selection and bucket dominance."""
+
+from repro.sim.environment import Environment
+from repro.trace.events import TraceCategory
+from repro.trace.render import render_timeline
+from repro.trace.tracer import Tracer
+
+
+def make_tracer(events):
+    tracer = Tracer(Environment())
+    for lane, cat, start, end in events:
+        tracer.record(lane, cat, start, end)
+    return tracer
+
+
+class TestGlyphs:
+    def test_dominant_category_wins_bucket(self):
+        # Over [0, 10): execute covers 9s, fetch 1s -> every bucket shows '#'
+        tracer = make_tracer([
+            ("pe0", TraceCategory.EXECUTE, 0.0, 9.0),
+            ("pe0", TraceCategory.IO_FETCH, 9.0, 10.0),
+        ])
+        art = render_timeline(tracer, width=10)
+        row = next(l for l in art.splitlines() if l.startswith("pe0"))
+        bars = row.split("|")[1]
+        assert bars == "#" * 9 + "F"
+
+    def test_idle_glyph_for_gaps(self):
+        tracer = make_tracer([
+            ("pe0", TraceCategory.EXECUTE, 0.0, 2.0),
+            ("pe0", TraceCategory.EXECUTE, 8.0, 10.0),
+        ])
+        art = render_timeline(tracer, width=10)
+        row = next(l for l in art.splitlines() if l.startswith("pe0"))
+        bars = row.split("|")[1]
+        assert bars[4] == "."
+        assert bars[0] == "#" and bars[-1] == "#"
+
+    def test_each_category_has_unique_glyph(self):
+        from repro.trace.render import _GLYPHS
+        assert len(set(_GLYPHS.values())) == len(_GLYPHS)
+
+    def test_multiple_lanes_aligned(self):
+        tracer = make_tracer([
+            ("pe0", TraceCategory.EXECUTE, 0.0, 1.0),
+            ("io11", TraceCategory.IO_EVICT, 0.0, 1.0),
+        ])
+        art = render_timeline(tracer, width=20)
+        rows = [l for l in art.splitlines() if "|" in l]
+        starts = {row.index("|") for row in rows}
+        assert len(starts) == 1  # bars line up
