@@ -1,0 +1,147 @@
+"""Simulation-core microbenchmark: incremental vs full fluid solver.
+
+Measures wall-clock of the event core + fluid model on two scenarios and
+records the trajectory in ``BENCH_simcore.json`` (see
+:mod:`repro.bench.regression`):
+
+* ``contention_64pe`` — 64 PEs, each with a private read/write port pair,
+  several flows per PE, all starting at the same instant wave after wave.
+  This is the shape of a 64-core streaming phase (Stencil3D halo exchange,
+  STREAM itself).  The incremental solver batches each wave's arrivals into
+  one solve and re-solves only the finished flow's two-link component per
+  departure, where the full solver re-solves all 64 PEs every time.
+* ``shared_link_movers`` — 64 concurrent movers crossing the *same* two
+  ports (the Figure 7 memcpy pile-up).  One connected component, so the
+  gain here is same-instant batching only; this bounds the worst case.
+
+Both scenarios assert the two solvers agree on the simulated timeline —
+this file runs in the default test path, so the perf harness cannot rot.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.regression import best_wall_time, write_bench
+from repro.sim.environment import Environment
+from repro.sim.fluid import FluidNetwork
+
+#: scenario shape: a 64-PE machine, a few flows per PE lane
+PES = 64
+FLOWS_PER_PE = 3
+WAVES = 4
+#: per-lane port bandwidths (B/s) and per-flow cap, loosely KNL-shaped
+READ_BW = 100e9
+WRITE_BW = 80e9
+FLOW_CAP = 12e9
+BASE_BYTES = 256e6
+
+
+def run_contention(solver: str, *, pes: int = PES,
+                   flows_per_pe: int = FLOWS_PER_PE,
+                   waves: int = WAVES) -> tuple[float, int]:
+    """64 private lanes, synchronized waves of flow arrivals.
+
+    Returns (simulated end time, number of solver invocations).
+    """
+    env = Environment()
+    net = FluidNetwork(env, solver=solver)
+    lanes = [(net.add_link(f"pe{i}.read", READ_BW),
+              net.add_link(f"pe{i}.write", WRITE_BW))
+             for i in range(pes)]
+    for _wave in range(waves):
+        dones = []
+        for i, (read_link, write_link) in enumerate(lanes):
+            for j in range(flows_per_pe):
+                # distinct sizes => staggered departures, each a rate change
+                nbytes = BASE_BYTES * (1.0 + ((i * flows_per_pe + j) % 7) / 7.0)
+                flow = net.start_flow(nbytes, [read_link, write_link],
+                                      max_rate=FLOW_CAP)
+                dones.append(flow.done)
+        env.run(env.all_of(dones))
+    return env.now, net.solves
+
+
+def run_shared_link_movers(solver: str, *, movers: int = PES,
+                           waves: int = WAVES) -> tuple[float, int]:
+    """64 concurrent flows across one shared port pair (Figure 7 shape)."""
+    env = Environment()
+    net = FluidNetwork(env, solver=solver)
+    src_read = net.add_link("ddr4.read", 80e9)
+    dst_write = net.add_link("mcdram.write", 170e9)
+    for _wave in range(waves):
+        dones = []
+        for k in range(movers):
+            nbytes = BASE_BYTES * (1.0 + (k % 5) / 5.0)
+            flow = net.start_flow(nbytes, [src_read, dst_write],
+                                  max_rate=FLOW_CAP)
+            dones.append(flow.done)
+        env.run(env.all_of(dones))
+    return env.now, net.solves
+
+
+def _measure(run_fn, solver: str) -> dict:
+    elapsed, (sim_time, solves) = best_wall_time(
+        lambda: run_fn(solver), repeats=2)
+    return {"wall_s": elapsed, "sim_time_s": sim_time, "solves": solves}
+
+
+def test_simcore_regression() -> None:
+    """Record BENCH_simcore.json; assert the tentpole's >=2x on contention."""
+    metrics: dict[str, dict[str, float]] = {}
+
+    full = _measure(run_contention, "full")
+    inc = _measure(run_contention, "incremental")
+    # identical simulated timelines (same final instant)
+    assert inc["sim_time_s"] == pytest.approx(full["sim_time_s"], rel=1e-9)
+    contention_speedup = full["wall_s"] / inc["wall_s"]
+    metrics["contention_64pe"] = {
+        "full_s": full["wall_s"], "incremental_s": inc["wall_s"],
+        "speedup": contention_speedup,
+        "full_solves": full["solves"], "incremental_solves": inc["solves"],
+        "sim_time_s": inc["sim_time_s"],
+    }
+
+    full = _measure(run_shared_link_movers, "full")
+    inc = _measure(run_shared_link_movers, "incremental")
+    assert inc["sim_time_s"] == pytest.approx(full["sim_time_s"], rel=1e-9)
+    metrics["shared_link_movers"] = {
+        "full_s": full["wall_s"], "incremental_s": inc["wall_s"],
+        "speedup": full["wall_s"] / inc["wall_s"],
+        "full_solves": full["solves"], "incremental_solves": inc["solves"],
+        "sim_time_s": inc["sim_time_s"],
+    }
+
+    path = write_bench("simcore", metrics)
+    print(f"\nwrote {path}")
+    for scenario, row in metrics.items():
+        print(f"  {scenario}: full {row['full_s']*1e3:.1f}ms "
+              f"-> incremental {row['incremental_s']*1e3:.1f}ms "
+              f"({row['speedup']:.1f}x; solves "
+              f"{row['full_solves']} -> {row['incremental_solves']})")
+
+    # The tentpole's acceptance bar: >=2x on the 64-PE contention scenario.
+    assert contention_speedup >= 2.0, (
+        f"incremental solver only {contention_speedup:.2f}x faster on the "
+        f"64-PE contention scenario (wanted >=2x)")
+
+
+def test_solvers_agree_on_solve_counts() -> None:
+    """The incremental solver must do strictly less solving work."""
+    _, full_solves = run_contention("full", pes=8, flows_per_pe=2, waves=2)
+    _, inc_solves = run_contention("incremental", pes=8, flows_per_pe=2,
+                                   waves=2)
+    assert inc_solves < full_solves
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run convenience
+    import sys
+    for name, fn in (("contention_64pe", run_contention),
+                     ("shared_link_movers", run_shared_link_movers)):
+        f = _measure(fn, "full")
+        i = _measure(fn, "incremental")
+        print(f"{name}: full {f['wall_s']:.3f}s incremental "
+              f"{i['wall_s']:.3f}s  {f['wall_s']/i['wall_s']:.1f}x",
+              file=sys.stderr)

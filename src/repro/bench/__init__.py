@@ -21,6 +21,11 @@ from repro.bench.experiments import (
     fig9_matmul_speedup,
 )
 from repro.bench.report import format_table, render_experiment
+from repro.bench.regression import (
+    best_wall_time,
+    read_bench,
+    write_bench,
+)
 
 __all__ = [
     "ExperimentResult", "Scale", "run_trial", "speedup_table",
@@ -28,4 +33,5 @@ __all__ = [
     "fig5_projections_wait", "fig6_sync_vs_async", "fig7_memcpy_cost",
     "fig8_stencil_speedup", "fig9_matmul_speedup",
     "format_table", "render_experiment",
+    "best_wall_time", "read_bench", "write_bench",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.errors import CapacityError, SchedulingError
+from repro.errors import CapacityError, ConfigError, SchedulingError
 from repro.mem.block import BlockState, DataBlock
 from repro.runtime.interception import ReadyTask
 from repro.runtime.pe import PE
@@ -100,6 +100,20 @@ class Strategy:
         if self.manager is None:
             raise SchedulingError(f"strategy {self.name!r} is not attached")
         return self.manager
+
+    def _require_pes(self) -> list[PE]:
+        """The runtime's PEs, validated non-empty.
+
+        IO-thread strategies scan PE wait queues round-robin (``% n``); a
+        zero-PE runtime must fail loudly at :meth:`setup` instead of with a
+        ``ZeroDivisionError`` on the first scan.
+        """
+        pes = self._mgr().runtime.pes
+        if not pes:
+            raise ConfigError(
+                f"strategy {self.name!r} needs at least one PE; "
+                "the runtime was built with zero worker threads")
+        return pes
 
     def fetch_block(self, block: DataBlock, lane: str,
                     category: TraceCategory = TraceCategory.IO_FETCH

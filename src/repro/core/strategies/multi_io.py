@@ -62,7 +62,7 @@ class MultiIOThreadStrategy(Strategy):
 
     def setup(self) -> None:
         mgr = self._mgr()
-        for pe in mgr.runtime.pes:
+        for pe in self._require_pes():
             self.gates[pe.id] = Gate(mgr.env, name=f"multi-io.gate{pe.id}")
             self.evict_requests[pe.id] = deque()
             sibling = pe.core.smt_sibling() if len(pe.core.threads) > 1 \
@@ -72,8 +72,11 @@ class MultiIOThreadStrategy(Strategy):
                 self._io_main(pe), name=f"io-thread-{pe.id}"))
 
     def stop(self) -> None:
+        """Tear down IO threads.  Idempotent: processes that already exited
+        (or were interrupted by an earlier ``stop``) are skipped."""
         for proc in self.io_processes:
-            proc.interrupt("shutdown")
+            if proc.is_alive:
+                proc.interrupt("shutdown")
 
     # -- worker side ---------------------------------------------------------
 

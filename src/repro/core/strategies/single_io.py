@@ -42,12 +42,14 @@ class SingleIOThreadStrategy(Strategy):
 
     def setup(self) -> None:
         mgr = self._mgr()
+        self._require_pes()
         self.gate = Gate(mgr.env, name="single-io.gate")
         self.io_process = mgr.env.process(self._io_main(), name="io-thread")
 
     def stop(self) -> None:
-        if getattr(self, "io_process", None) is not None:
-            self.io_process.interrupt("shutdown")
+        proc = getattr(self, "io_process", None)
+        if proc is not None and proc.is_alive:
+            proc.interrupt("shutdown")
 
     # -- worker side ---------------------------------------------------------
 

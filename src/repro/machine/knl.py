@@ -27,10 +27,12 @@ __all__ = ["build_machine", "build_knl"]
 
 def build_machine(env: Environment, config: MachineConfig, *,
                   allocator_cls: type = PagedAllocator,
-                  allocator_kwargs: dict[str, _t.Any] | None = None) -> MachineNode:
+                  allocator_kwargs: dict[str, _t.Any] | None = None,
+                  fluid_solver: str = "incremental") -> MachineNode:
     """Build a node from an explicit config (flat-mode semantics)."""
     node = MachineNode(env, config, allocator_cls=allocator_cls,
-                       allocator_kwargs=allocator_kwargs)
+                       allocator_kwargs=allocator_kwargs,
+                       fluid_solver=fluid_solver)
     node.mcdram_cache = None  # type: ignore[attr-defined]
     return node
 
@@ -43,7 +45,8 @@ def build_knl(env: Environment, *,
               ddr_capacity: int | str = 96 * GiB,
               hybrid_cache_fraction: float = 0.5,
               allocator_cls: type = PagedAllocator,
-              allocator_kwargs: dict[str, _t.Any] | None = None) -> MachineNode:
+              allocator_kwargs: dict[str, _t.Any] | None = None,
+              fluid_solver: str = "incremental") -> MachineNode:
     """Build the paper's KNL node in the requested mode.
 
     In CACHE mode the returned node has only the DDR4 device (numa node 0)
@@ -61,7 +64,8 @@ def build_knl(env: Environment, *,
 
     if memory_mode is MemoryMode.FLAT:
         node = MachineNode(env, base, allocator_cls=allocator_cls,
-                           allocator_kwargs=allocator_kwargs)
+                           allocator_kwargs=allocator_kwargs,
+                           fluid_solver=fluid_solver)
         node.mcdram_cache = None  # type: ignore[attr-defined]
         return node
 
@@ -73,7 +77,8 @@ def build_knl(env: Environment, *,
             devices=(ddr_cfg,), memory_mode=memory_mode,
             cluster_mode=cluster_mode)
         node = MachineNode(env, cfg, allocator_cls=allocator_cls,
-                           allocator_kwargs=allocator_kwargs)
+                           allocator_kwargs=allocator_kwargs,
+                           fluid_solver=fluid_solver)
         node.mcdram_cache = DirectMappedCache(  # type: ignore[attr-defined]
             mcdram_cfg.capacity,
             hit_bandwidth=mcdram_cfg.read_bandwidth,
@@ -95,7 +100,8 @@ def build_knl(env: Environment, *,
             cluster_mode=cluster_mode,
             hybrid_cache_fraction=hybrid_cache_fraction)
         node = MachineNode(env, cfg, allocator_cls=allocator_cls,
-                           allocator_kwargs=allocator_kwargs)
+                           allocator_kwargs=allocator_kwargs,
+                           fluid_solver=fluid_solver)
         if cache_bytes > 0:
             node.mcdram_cache = DirectMappedCache(  # type: ignore[attr-defined]
                 cache_bytes,

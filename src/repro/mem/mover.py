@@ -177,6 +177,8 @@ class DataMover:
             raise BlockStateError(f"block {block.name!r} is not resident anywhere")
         if src is dst:
             raise BlockStateError(f"block {block.name!r} is already on {dst.name}")
+        if block.moving:
+            raise BlockStateError(f"block {block.name!r} is already moving")
         pages = max(1, math.ceil(block.nbytes / PAGE_SIZE))
         padded = pages * PAGE_SIZE
         if not dst.can_allocate(padded):
@@ -187,7 +189,14 @@ class DataMover:
         started = self.env.now
         block.begin_move()
         src_alloc = block.allocation
-        dst_alloc = dst.allocate(padded)
+        try:
+            dst_alloc = dst.allocate(padded)
+        except CapacityError:
+            # Fragmentation: total free space sufficed but no contiguous
+            # range did.  Restore the block (it never left the source) so
+            # it is not stuck MOVING, matching `move`'s rollback.
+            block.settle(src, self.topology.state_for(src))
+            raise
 
         # Kernel bookkeeping scales with page count, serial per mover.
         yield self.env.timeout(pages * self.migrate_pages_per_page_cost)

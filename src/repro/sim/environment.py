@@ -31,12 +31,22 @@ class Environment:
 
     The heap is keyed ``(time, priority, sequence)`` — the sequence number
     makes same-time processing deterministic (FIFO in scheduling order).
+
+    Heap entries support O(1) *invalidation*: :meth:`schedule` returns the
+    entry, and :meth:`cancel` voids it in place instead of re-heapifying.
+    Cancelled entries are skipped (and discarded) lazily by :meth:`peek`
+    and :meth:`step`.  The fluid bandwidth model uses this to retire
+    superseded "next completion" wakeups without processing them.
     """
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        #: heap of ``[time, priority, seq, event-or-None]`` entries;
+        #: ``None`` in the event slot marks a cancelled entry
+        self._queue: list[list] = []
         self._seq = count()
+        #: number of live (non-cancelled) entries in the heap
+        self._live = 0
         #: live processes, for deadlock diagnostics
         self._active: dict[int, "Process"] = {}
 
@@ -71,32 +81,60 @@ class Environment:
 
     # -- scheduling ---------------------------------------------------------
 
-    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
-        """Queue a triggered event for callback processing at ``now+delay``."""
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL) -> list:
+        """Queue a triggered event for callback processing at ``now+delay``.
+
+        Returns the heap entry, which may be passed to :meth:`cancel`.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        entry = [self._now + delay, priority, next(self._seq), event]
+        heapq.heappush(self._queue, entry)
+        self._live += 1
+        return entry
+
+    def cancel(self, entry: list) -> bool:
+        """Invalidate a scheduled heap entry in place (O(1)).
+
+        The entry's callbacks will never run; the dead entry is discarded
+        lazily when it reaches the head of the heap.  Returns False if the
+        entry was already cancelled or processed.
+        """
+        if entry[3] is None:
+            return False
+        entry[3] = None
+        self._live -= 1
+        return True
 
     # -- run loop -----------------------------------------------------------
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
-        return self._queue[0][0] if self._queue else float("inf")
+        queue = self._queue
+        while queue and queue[0][3] is None:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event (advancing the clock to it)."""
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        """Process exactly one live event (advancing the clock to it)."""
+        queue = self._queue
+        while True:
+            if not queue:
+                raise SimulationError("step() on an empty event queue")
+            entry = heapq.heappop(queue)
+            when, event = entry[0], entry[3]
+            if event is not None:
+                break
+        # mark the entry consumed so a late cancel() is a no-op
+        entry[3] = None
+        self._live -= 1
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks or ():
-            callback(event)
-        if not event.ok and not event._defused:
+        event._process()
+        if not event._ok and not event._defused:
             # Nobody handled this failure: surface it instead of silently
             # dropping a crashed process.
-            exc = event.value
-            raise exc
+            raise event._value
 
     def run(self, until: "float | Event | None" = None) -> _t.Any:
         """Run until the queue drains, a deadline, or an event fires.
@@ -108,7 +146,7 @@ class Environment:
           first (the event can then never fire).
         """
         if until is None:
-            while self._queue:
+            while self._live:
                 self.step()
             return None
 
@@ -116,7 +154,7 @@ class Environment:
             target = until
             done = []
             target.add_callback(done.append)
-            while self._queue and not done:
+            while self._live and not done:
                 self.step()
             if not done:
                 raise DeadlockError(
@@ -132,7 +170,7 @@ class Environment:
         if deadline < self._now:
             raise SimulationError(
                 f"run(until={deadline!r}) is in the past (now={self._now!r})")
-        while self._queue and self._queue[0][0] <= deadline:
+        while self._live and self.peek() <= deadline:
             self.step()
         self._now = deadline
         return None
@@ -151,4 +189,4 @@ class Environment:
         return tuple(sorted(p.name for p in self._active.values()))
 
     def __repr__(self) -> str:
-        return f"<Environment t={self._now:g} pending={len(self._queue)}>"
+        return f"<Environment t={self._now:g} pending={self._live}>"

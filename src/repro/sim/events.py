@@ -4,6 +4,12 @@ An :class:`Event` is a one-shot future.  Processes wait on events by
 ``yield``-ing them; the environment resumes the process when the event fires.
 Events may *succeed* (carrying a value) or *fail* (carrying an exception that
 is re-raised inside every waiting process).
+
+Callback storage is slot-based: the overwhelmingly common case is exactly
+one waiter (the process that ``yield``-ed the event), so the first callback
+lives in a dedicated ``_cb0`` slot and an overflow list is only allocated
+for the second waiter onwards.  This halves the allocations per simulated
+event against the previous one-list-per-event layout.
 """
 
 from __future__ import annotations
@@ -35,22 +41,27 @@ class Event:
 
         created --(succeed/fail)--> triggered --(loop pops it)--> processed
 
-    ``callbacks`` run exactly once, at processing time, in registration
+    Callbacks run exactly once, at processing time, in registration
     order.  After processing, newly added callbacks run immediately (so a
     process can always safely wait on an already-finished event).
     """
 
-    __slots__ = ("env", "name", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "name", "_cb0", "_cbs", "_value", "_ok", "_defused",
+                 "_processed")
 
     def __init__(self, env: "Environment", name: str = ""):
         self.env = env
         self.name = name
-        self.callbacks: list[_t.Callable[[Event], None]] | None = []
+        #: first callback (slot-based fast path; most events have one waiter)
+        self._cb0: _t.Callable[[Event], None] | None = None
+        #: overflow callbacks, allocated lazily for the second waiter onwards
+        self._cbs: list[_t.Callable[[Event], None]] | None = None
         self._value: _t.Any = PENDING
         self._ok = True
         # A failed event whose exception was delivered to at least one waiter
         # is "defused"; undefused failures surface when the loop drains.
         self._defused = False
+        self._processed = False
 
     # -- state ------------------------------------------------------------
 
@@ -62,7 +73,19 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the event loop has run the callbacks."""
-        return self.callbacks is None
+        return self._processed
+
+    @property
+    def callbacks(self) -> list[_t.Callable[["Event"], None]] | None:
+        """Registered callbacks (``None`` once processed); read-only view."""
+        if self._processed:
+            return None
+        out: list[_t.Callable[[Event], None]] = []
+        if self._cb0 is not None:
+            out.append(self._cb0)
+        if self._cbs is not None:
+            out.extend(self._cbs)
+        return out
 
     @property
     def ok(self) -> bool:
@@ -109,10 +132,25 @@ class Event:
 
         If the event was already processed the callback runs synchronously.
         """
-        if self.callbacks is None:
+        if self._processed:
             callback(self)
+        elif self._cb0 is None and self._cbs is None:
+            self._cb0 = callback
+        elif self._cbs is None:
+            self._cbs = [callback]
         else:
-            self.callbacks.append(callback)
+            self._cbs.append(callback)
+
+    def _process(self) -> None:
+        """Run the callbacks exactly once (called by the event loop)."""
+        self._processed = True
+        cb0, self._cb0 = self._cb0, None
+        cbs, self._cbs = self._cbs, None
+        if cb0 is not None:
+            cb0(self)
+        if cbs is not None:
+            for callback in cbs:
+                callback(self)
 
     def __repr__(self) -> str:
         state = ("processed" if self.processed

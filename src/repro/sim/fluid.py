@@ -11,10 +11,27 @@ contention effects come out of the model instead of being scripted:
   (so HBM→DDR4 costs slightly more than DDR4→HBM, Figure 7);
 * prefetch traffic slows concurrently running kernels, and vice versa.
 
-The model is event-driven: whenever the flow set changes, every flow's
-progress is advanced at its old rate, rates are recomputed, and the next
-completion is scheduled.  With the modest flow counts in our experiments
-(hundreds), the O(flows x links) recompute is cheap.
+The model is event-driven: whenever the flow set changes, every affected
+flow's progress is advanced at its old rate, rates are recomputed, and the
+next completion is scheduled.
+
+Two solvers are available (``solver=`` constructor flag):
+
+* ``"incremental"`` (default) — flow arrivals/departures mark their links
+  *dirty*; the recompute is deferred to a flush event at the same simulated
+  timestamp, so any number of same-instant changes (64 movers starting at
+  once, a whole wave completing together) cost **one** solve.  The solve
+  itself is restricted to the connected component of the flow↔link graph
+  reachable from the dirty links — flows on untouched components keep
+  their rates, which is exact because max-min allocations decompose per
+  component.  Rates are never stale from the outside: reading
+  ``Flow.rate`` / ``Link.utilization`` / ``snapshot()`` settles any pending
+  recompute first, and no simulated time can pass while links are dirty
+  (the flush is scheduled at the current instant).
+
+* ``"full"`` — the original eager solver: every change recomputes every
+  flow on every link immediately.  Kept as the cross-check oracle; the
+  incremental solver must produce identical simulated timelines.
 """
 
 from __future__ import annotations
@@ -27,30 +44,42 @@ from repro.errors import SimulationError
 from repro.sim.environment import Environment
 from repro.sim.events import Event
 
-__all__ = ["Link", "Flow", "FluidNetwork"]
+__all__ = ["Link", "Flow", "FluidNetwork", "SOLVERS"]
 
 #: Flows with fewer remaining bytes than this are considered complete.
 #: (Float progress integration leaves sub-byte residue.)
 _EPSILON_BYTES = 1e-3
 
+#: recognised ``FluidNetwork(solver=...)`` values
+SOLVERS = ("incremental", "full")
+
 
 class Link:
     """A capacity-limited pipe, e.g. the read port of a memory device."""
 
-    __slots__ = ("name", "capacity", "flows")
+    __slots__ = ("name", "capacity", "flows", "uid", "network")
 
-    def __init__(self, name: str, capacity: float):
+    def __init__(self, name: str, capacity: float, *, uid: int = 0,
+                 network: "FluidNetwork | None" = None):
         if capacity <= 0:
             raise SimulationError(f"link {name!r} capacity must be > 0")
         self.name = name
         #: bytes per second
         self.capacity = float(capacity)
-        self.flows: set["Flow"] = set()
+        #: active flows crossing this link, as an insertion-ordered set
+        #: (dict keys) so solver iteration order is deterministic
+        self.flows: dict["Flow", None] = {}
+        #: creation index, for deterministic dirty-set ordering
+        self.uid = uid
+        self.network = network
 
     @property
     def utilization(self) -> float:
-        """Instantaneous fraction of capacity in use (post-recompute)."""
-        return sum(f.rate for f in self.flows) / self.capacity
+        """Instantaneous fraction of capacity in use."""
+        network = self.network
+        if network is not None and network._dirty:
+            network._ensure_current()
+        return sum(f._rate for f in self.flows) / self.capacity
 
     def __repr__(self) -> str:
         return f"<Link {self.name} cap={self.capacity:g} flows={len(self.flows)}>"
@@ -65,20 +94,30 @@ class Flow:
     """
 
     __slots__ = ("fid", "links", "remaining", "total", "weight", "max_rate",
-                 "rate", "done", "started_at", "finished_at")
+                 "_rate", "done", "started_at", "finished_at", "network")
 
     def __init__(self, fid: int, links: tuple[Link, ...], nbytes: float,
-                 weight: float, max_rate: float, done: Event, now: float):
+                 weight: float, max_rate: float, done: Event, now: float,
+                 network: "FluidNetwork | None" = None):
         self.fid = fid
         self.links = links
         self.total = float(nbytes)
         self.remaining = float(nbytes)
         self.weight = float(weight)
         self.max_rate = float(max_rate)
-        self.rate = 0.0
+        self._rate = 0.0
         self.done = done
         self.started_at = now
         self.finished_at: float | None = None
+        self.network = network
+
+    @property
+    def rate(self) -> float:
+        """Current fair-share rate (B/s); settles any pending recompute."""
+        network = self.network
+        if network is not None and network._dirty:
+            network._ensure_current()
+        return self._rate
 
     @property
     def finished(self) -> bool:
@@ -87,31 +126,43 @@ class Flow:
     def __repr__(self) -> str:
         links = "+".join(l.name for l in self.links)
         return (f"<Flow #{self.fid} {links} {self.remaining:.0f}/{self.total:.0f}B "
-                f"@{self.rate:g}B/s>")
+                f"@{self._rate:g}B/s>")
 
 
 class FluidNetwork:
     """The set of links plus the progressive-filling rate solver."""
 
-    def __init__(self, env: Environment):
+    def __init__(self, env: Environment, *, solver: str = "incremental"):
+        if solver not in SOLVERS:
+            raise SimulationError(
+                f"unknown fluid solver {solver!r}; choose from {SOLVERS}")
         self.env = env
+        self.solver = solver
+        self._incremental = solver == "incremental"
         self._links: dict[str, Link] = {}
-        self._flows: set[Flow] = set()
+        #: active flows as an insertion-ordered set (dict keys)
+        self._flows: dict[Flow, None] = {}
         self._fid = count()
+        self._link_uid = count()
         self._last_advance = env.now
-        # The pending "next completion" wakeup; superseded wakeups are
-        # detected by generation counting.
-        self._wake_generation = 0
+        #: links whose flow set changed at the current instant (incremental)
+        self._dirty: set[Link] = set()
+        #: pending same-instant flush event, if any (incremental)
+        self._flush_event: Event | None = None
+        #: heap entry of the pending "next completion" wakeup, if any
+        self._wake_entry: list | None = None
         #: total bytes moved to completion through this network
         self.completed_bytes = 0.0
         self.completed_flows = 0
+        #: solver invocations, for the perf regression harness
+        self.solves = 0
 
     # -- topology -------------------------------------------------------------
 
     def add_link(self, name: str, capacity: float) -> Link:
         if name in self._links:
             raise SimulationError(f"duplicate link name {name!r}")
-        link = Link(name, capacity)
+        link = Link(name, capacity, uid=next(self._link_uid), network=self)
         self._links[name] = link
         return link
 
@@ -143,7 +194,7 @@ class FluidNetwork:
             raise SimulationError("a non-empty flow needs at least one link")
         done = self.env.event(name="flow.done")
         flow = Flow(next(self._fid), resolved, nbytes, weight, max_rate,
-                    done, self.env.now)
+                    done, self.env.now, network=self)
         if nbytes <= _EPSILON_BYTES:
             flow.remaining = 0.0
             flow.finished_at = self.env.now
@@ -151,10 +202,13 @@ class FluidNetwork:
             done.succeed(flow)
             return flow
         self._advance()
-        self._flows.add(flow)
+        self._flows[flow] = None
         for link in resolved:
-            link.flows.add(flow)
-        self._recompute_and_reschedule()
+            link.flows[flow] = None
+        if self._incremental:
+            self._mark_dirty(resolved)
+        else:
+            self._recompute_and_reschedule()
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
@@ -167,14 +221,17 @@ class FluidNetwork:
         exc = SimulationError(f"flow #{flow.fid} cancelled")
         flow.done.fail(exc)
         flow.done.defuse()
-        self._recompute_and_reschedule()
+        if self._incremental:
+            self._mark_dirty(flow.links)
+        else:
+            self._recompute_and_reschedule()
 
     # -- solver ------------------------------------------------------------------
 
     def _detach(self, flow: Flow) -> None:
-        self._flows.discard(flow)
+        self._flows.pop(flow, None)
         for link in flow.links:
-            link.flows.discard(flow)
+            link.flows.pop(flow, None)
 
     def _advance(self) -> None:
         """Integrate progress since the last rate change; finish flows."""
@@ -183,38 +240,123 @@ class FluidNetwork:
         self._last_advance = now
         if dt < 0:
             raise SimulationError("fluid network clock went backwards")
+        if dt == 0:
+            return
+        if self._dirty:  # pragma: no cover - defensive invariant
+            raise SimulationError(
+                "fluid rates were stale across a time step (dirty links "
+                "survived past their flush instant)")
         finished: list[Flow] = []
-        if dt > 0:
-            for flow in self._flows:
-                flow.remaining -= flow.rate * dt
-                if flow.remaining <= _EPSILON_BYTES:
-                    flow.remaining = 0.0
-                    finished.append(flow)
+        for flow in self._flows:
+            flow.remaining -= flow._rate * dt
+            if flow.remaining <= _EPSILON_BYTES:
+                flow.remaining = 0.0
+                finished.append(flow)
+        if not finished:
+            return
+        touched: list[Link] = []
         for flow in sorted(finished, key=lambda f: f.fid):
             self._detach(flow)
             flow.finished_at = now
             self.completed_bytes += flow.total
             self.completed_flows += 1
+            touched.extend(flow.links)
             flow.done.succeed(flow)
+        if self._incremental:
+            self._mark_dirty(touched)
 
-    def _recompute(self) -> None:
+    # -- incremental bookkeeping ---------------------------------------------
+
+    def _mark_dirty(self, links: _t.Iterable[Link]) -> None:
+        """Record a flow-set change; defer the solve to the flush instant."""
+        self._dirty.update(links)
+        if not self._dirty:
+            # nothing to re-solve, but the completion horizon may have moved
+            self._schedule_wake()
+            return
+        if self._wake_entry is not None:
+            # the pending completion wake is computed from now-stale rates
+            self.env.cancel(self._wake_entry)
+            self._wake_entry = None
+        if self._flush_event is None:
+            flush = Event(self.env, name="fluid.flush")
+            flush._ok = True
+            flush._value = None
+            # NORMAL priority: the flush lands *after* every same-instant
+            # event already in the queue, so a burst of arrivals (64 movers
+            # resuming from the same timeout) batches into one solve.
+            self.env.schedule(flush)
+            flush.add_callback(self._on_flush)
+            self._flush_event = flush
+
+    def _on_flush(self, _event: Event) -> None:
+        self._flush_event = None
+        if self._dirty:
+            self._ensure_current()
+        elif self._wake_entry is None:
+            # a rate read mid-instant already settled the solve but further
+            # changes may have cancelled the wake it scheduled
+            self._schedule_wake()
+
+    def _ensure_current(self) -> None:
+        """Solve the components touched by dirty links; re-arm the wake."""
+        dirty, self._dirty = self._dirty, set()
+        # Connected-component closure over the flow<->link bipartite graph.
+        # Flows outside the closure share no links with it (directly or
+        # transitively), so their max-min rates are unaffected.
+        comp_flows: dict[Flow, None] = {}
+        comp_links: dict[Link, None] = {}
+        stack = sorted(dirty, key=lambda l: l.uid)
+        for link in stack:
+            comp_links[link] = None
+        while stack:
+            link = stack.pop()
+            for flow in link.flows:
+                if flow not in comp_flows:
+                    comp_flows[flow] = None
+                    for other in flow.links:
+                        if other not in comp_links:
+                            comp_links[other] = None
+                            stack.append(other)
+        if comp_flows:
+            self._solve(comp_flows, comp_links)
+        self._schedule_wake()
+
+    # -- the max-min solve -----------------------------------------------------
+
+    def _solve(self, flows: _t.Iterable[Flow], links: _t.Iterable[Link]) -> None:
         """Weighted max-min fair allocation via progressive filling.
 
-        Each flow's personal ``max_rate`` is honoured by treating it as a
-        candidate bottleneck alongside its links.
+        ``flows`` must be closed over ``links``: every flow crossing a link
+        in ``links`` is in ``flows`` and vice versa.  Each flow's personal
+        ``max_rate`` is honoured by treating it as a candidate bottleneck
+        alongside its links.
         """
-        unfrozen = set(self._flows)
+        self.solves += 1
+        unfrozen = dict.fromkeys(flows)
+        if len(unfrozen) == 1:
+            # Lone-flow fast path (the common case for a solitary mover):
+            # arithmetic-identical to one trip through the loop below.
+            flow = next(iter(unfrozen))
+            if flow.links:
+                weight = flow.weight
+                share = min(link.capacity / weight for link in flow.links)
+                if flow.max_rate < share * weight:
+                    flow._rate = flow.max_rate
+                else:
+                    flow._rate = share * weight
+                return
         for flow in unfrozen:
-            flow.rate = 0.0
-        residual = {link: link.capacity for link in self._links.values()}
-        live_weight = {link: sum(f.weight for f in link.flows if f in unfrozen)
-                       for link in self._links.values()}
+            flow._rate = 0.0
+        residual = {link: link.capacity for link in links}
+        live_weight = {link: sum(f.weight for f in link.flows)
+                       for link in residual}
         # Repeated subtraction leaves ~1e-16 residues in live_weight and
         # residual; a link whose flows all froze must read exactly empty,
         # or its ~0/~0 ratio poisons the next bottleneck computation with
         # an arbitrary (even negative) share.
         weight_floor = 1e-9 * max(
-            (f.weight for f in self._flows), default=1.0)
+            (f.weight for f in unfrozen), default=1.0)
 
         while unfrozen:
             # Fair share per unit weight on every still-loaded link.
@@ -233,10 +375,10 @@ class FluidNetwork:
                 batch = [f for f in capped
                          if f.max_rate / f.weight <= tightest * (1 + 1e-12)]
                 for flow in batch:
-                    flow.rate = flow.max_rate
-                    unfrozen.discard(flow)
+                    flow._rate = flow.max_rate
+                    unfrozen.pop(flow, None)
                     for link in flow.links:
-                        residual[link] -= flow.rate
+                        residual[link] -= flow._rate
                         live_weight[link] -= flow.weight
                 continue
             if not math.isfinite(bottleneck_share):
@@ -245,7 +387,7 @@ class FluidNetwork:
                 # only be flows with max_rate == inf and no links — which
                 # start_flow forbids for nbytes > 0.  Freeze at cap anyway.
                 for flow in unfrozen:
-                    flow.rate = flow.max_rate if math.isfinite(flow.max_rate) else 0.0
+                    flow._rate = flow.max_rate if math.isfinite(flow.max_rate) else 0.0
                 break
             # Freeze every flow whose bottleneck link is saturated at this share.
             saturated = [link for link, cap in residual.items()
@@ -255,35 +397,54 @@ class FluidNetwork:
             froze_any = False
             for link in saturated:
                 for flow in [f for f in link.flows if f in unfrozen]:
-                    flow.rate = bottleneck_share * flow.weight
-                    unfrozen.discard(flow)
+                    flow._rate = bottleneck_share * flow.weight
+                    unfrozen.pop(flow, None)
                     froze_any = True
                     for l2 in flow.links:
-                        residual[l2] -= flow.rate
+                        residual[l2] -= flow._rate
                         live_weight[l2] -= flow.weight
             if not froze_any:  # pragma: no cover - numeric safety valve
                 for flow in unfrozen:
-                    flow.rate = bottleneck_share * flow.weight
+                    flow._rate = bottleneck_share * flow.weight
                 break
 
+    # -- completion scheduling --------------------------------------------------
+
     def _recompute_and_reschedule(self) -> None:
-        self._recompute()
-        self._wake_generation += 1
-        generation = self._wake_generation
+        """Eager (``solver="full"``) path: solve everything, re-arm the wake."""
+        self._solve(self._flows, self._links.values())
+        self._schedule_wake()
+
+    def _schedule_wake(self) -> None:
+        """(Re-)arm the next-completion wakeup from current rates."""
+        if self._wake_entry is not None:
+            self.env.cancel(self._wake_entry)
+            self._wake_entry = None
         horizon = math.inf
         for flow in self._flows:
-            if flow.rate > 0:
-                horizon = min(horizon, flow.remaining / flow.rate)
+            if flow._rate > 0:
+                candidate = flow.remaining / flow._rate
+                if candidate < horizon:
+                    horizon = candidate
         if not math.isfinite(horizon):
             return
-        wake = self.env.timeout(max(horizon, 0.0))
-        wake.add_callback(lambda _ev: self._on_wake(generation))
+        wake = Event(self.env, name="fluid.wake")
+        wake._ok = True
+        wake._value = None
+        self._wake_entry = self.env.schedule(wake, delay=max(horizon, 0.0))
+        wake.add_callback(self._on_wake)
 
-    def _on_wake(self, generation: int) -> None:
-        if generation != self._wake_generation:
-            return  # superseded by a later flow-set change
+    def _on_wake(self, _event: Event) -> None:
+        self._wake_entry = None
         self._advance()
-        self._recompute_and_reschedule()
+        if self._incremental:
+            if not self._dirty:
+                # nothing actually finished (float slop): just re-arm
+                self._schedule_wake()
+            # else: _advance marked the departures dirty and scheduled a
+            # same-instant flush, which batches with any follow-on arrivals
+        else:
+            self._recompute_and_reschedule()
 
     # -- instantaneous queries ------------------------------------------------
 
@@ -293,4 +454,6 @@ class FluidNetwork:
 
     def snapshot(self) -> dict[str, float]:
         """Per-link utilisation snapshot for tracing."""
+        if self._dirty:
+            self._ensure_current()
         return {name: link.utilization for name, link in self._links.items()}

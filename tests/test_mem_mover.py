@@ -142,3 +142,37 @@ class TestMigratePages:
         env.run(until=env.process(node.mover.move_migrate_pages(b2, node.hbm)))
         t_migrate = env.now - t0
         assert t_migrate > t_memcpy
+
+    def test_concurrent_migrate_of_same_block_rejected(self, node):
+        """Parity with `move`: a block mid-migration cannot migrate again."""
+        block = place(node, "b", 64 * MiB, node.ddr)
+        node.env.process(node.mover.move_migrate_pages(block, node.hbm))
+        node.env.run(until=1e-5)  # let the first migration start
+        with pytest.raises(BlockStateError):
+            next(node.mover.move_migrate_pages(block, node.hbm))
+
+    def test_fragmentation_failure_restores_block(self):
+        """Regression: a fragmentation CapacityError after begin_move must
+        roll the block back instead of leaving it stuck MOVING."""
+        env = Environment()
+        node = build_knl(env, mcdram_capacity=3 * MiB, ddr_capacity=GiB,
+                         allocator_cls=FreeListAllocator)
+        a = place(node, "a", MiB, node.hbm)
+        b = place(node, "b", MiB, node.hbm)
+        c = place(node, "c", MiB, node.hbm)
+        node.topology.release_block(a)
+        node.topology.release_block(c)
+        # 2 MiB free but fragmented; the page-padded 2 MiB allocation fails
+        big = place(node, "big", 2 * MiB - 4096, node.ddr)
+        proc = env.process(node.mover.move_migrate_pages(big, node.hbm))
+        with pytest.raises(CapacityError):
+            env.run(until=proc)
+        assert big.state is BlockState.INDDR
+        assert big.device is node.ddr
+        assert not big.moving
+        # the block is healthy: once the fragmentation clears (freeing the
+        # middle block coalesces the free list) the migration succeeds
+        node.topology.release_block(b)
+        proc = env.process(node.mover.move_migrate_pages(big, node.hbm))
+        env.run(until=proc)
+        assert big.state is BlockState.INHBM

@@ -1,0 +1,221 @@
+"""Strategy lifecycle guards: zero-PE validation, idempotent teardown,
+and the epoch-memoized capacity caches."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.api import OOCRuntimeBuilder
+from repro.core.strategies import make_strategy
+from repro.errors import ConfigError
+from repro.mem.block import BlockState
+from repro.runtime.chare import Chare
+from repro.runtime.entry import entry
+from repro.sim.environment import Environment
+from repro.units import GiB, MiB
+
+HBM = 128 * MiB
+DDR = 1 * GiB
+
+
+class W(Chare):
+    @entry
+    def setup(self, nbytes, barrier):
+        self.d = self.declare_block("d", nbytes)
+        barrier.contribute()
+
+    @entry(prefetch=True, readwrite=["d"])
+    def go(self, red):
+        yield from self.kernel(flops=1e7, reads=[self.d], writes=[self.d])
+        red.contribute()
+
+
+def run_once(strategy, chares=8, block=8 * MiB, **kwargs):
+    built = OOCRuntimeBuilder(strategy, cores=4, mcdram_capacity=HBM,
+                              ddr_capacity=DDR, trace=False,
+                              **kwargs).build()
+    rt = built.runtime
+    arr = rt.create_array(W, chares)
+    barrier = rt.reducer(chares)
+    arr.broadcast("setup", block, barrier)
+    rt.run_until(barrier.done)
+    built.manager.finalize_placement()
+    red = rt.reducer(chares)
+    arr.broadcast("go", red)
+    rt.run_until(red.done)
+    return built
+
+
+def _zero_pe_manager():
+    return SimpleNamespace(env=Environment(),
+                           runtime=SimpleNamespace(pes=[]))
+
+
+class TestZeroPEValidation:
+    """`% n` round-robin scans must be unreachable with zero PEs."""
+
+    @pytest.mark.parametrize("name", ["single-io", "multi-io"])
+    def test_io_strategies_reject_zero_pes_at_setup(self, name):
+        strategy = make_strategy(name)
+        with pytest.raises(ConfigError, match="at least one PE"):
+            strategy.attach(_zero_pe_manager())
+
+    def test_error_is_raised_before_io_threads_spawn(self):
+        strategy = make_strategy("multi-io")
+        with pytest.raises(ConfigError):
+            strategy.attach(_zero_pe_manager())
+        assert strategy.io_processes == []
+
+
+class TestIdempotentStop:
+    """stop() after a completed workload, twice, must be a no-op."""
+
+    def test_multi_io_double_stop(self):
+        built = run_once("multi-io")
+        strategy = built.strategy
+        assert all(p.is_alive for p in strategy.io_processes)
+        strategy.stop()
+        built.env.run()
+        assert all(not p.is_alive for p in strategy.io_processes)
+        # second stop: every process already terminated; must not raise
+        # and must not schedule anything new
+        strategy.stop()
+        assert built.env._live == 0
+        built.env.run()
+
+    def test_single_io_double_stop(self):
+        built = run_once("single-io")
+        strategy = built.strategy
+        strategy.stop()
+        built.env.run()
+        assert not strategy.io_process.is_alive
+        strategy.stop()
+        assert built.env._live == 0
+
+    def test_stop_before_setup_is_noop(self):
+        make_strategy("multi-io").stop()
+        make_strategy("single-io").stop()
+
+
+# ---------------------------------------------------------------------------
+# Epoch-memoized caches (_wm_seen_epoch / _freeable_cache)
+# ---------------------------------------------------------------------------
+
+def _block(nbytes, state, *, in_use=False, pinned=False):
+    return SimpleNamespace(nbytes=nbytes, state=state, in_use=in_use,
+                           pinned=pinned,
+                           in_hbm=state is BlockState.INHBM)
+
+
+class _CountingEviction:
+    def __init__(self):
+        self.scans = 0
+
+    def make_space_victims(self, registry, needed, include_demanded=False):
+        self.scans += 1
+        return []
+
+
+def _capacity_manager(*, uncommitted, budget=100 * MiB, registry=(),
+                      wait_blocks=()):
+    tasks = [SimpleNamespace(blocks=[b]) for b in wait_blocks]
+    return SimpleNamespace(
+        env=Environment(),
+        tracker=SimpleNamespace(budget=budget, uncommitted=uncommitted,
+                                can_fit=lambda n: False),
+        runtime=SimpleNamespace(
+            pes=[SimpleNamespace(wait_queue=tasks)]),
+        registry=list(registry),
+        eviction=_CountingEviction(),
+        change_epoch=0,
+    )
+
+
+def _drain(gen):
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+class TestWatermarkMemoization:
+    def _strategy(self, mgr):
+        strategy = make_strategy("multi-io")
+        strategy.manager = mgr  # bypass setup: exercise the cache directly
+        return strategy
+
+    def test_fruitless_scan_memoized_within_epoch(self):
+        missing = _block(MiB, BlockState.INDDR)
+        mgr = _capacity_manager(uncommitted=0, wait_blocks=[missing])
+        strategy = self._strategy(mgr)
+        assert _drain(strategy.maintain_watermarks("io0")) is False
+        assert mgr.eviction.scans == 1
+        assert strategy._wm_seen_epoch == mgr.change_epoch
+        # same epoch: no rescan
+        assert _drain(strategy.maintain_watermarks("io0")) is False
+        assert mgr.eviction.scans == 1
+
+    def test_epoch_bump_invalidates_watermark_memo(self):
+        missing = _block(MiB, BlockState.INDDR)
+        mgr = _capacity_manager(uncommitted=0, wait_blocks=[missing])
+        strategy = self._strategy(mgr)
+        _drain(strategy.maintain_watermarks("io0"))
+        mgr.change_epoch += 1  # a task completed / a block moved
+        _drain(strategy.maintain_watermarks("io0"))
+        assert mgr.eviction.scans == 2  # rescanned, not stale
+
+
+class TestFreeableCacheInvalidation:
+    def _strategy(self, mgr):
+        strategy = make_strategy("multi-io")
+        strategy.manager = mgr
+        return strategy
+
+    def test_freeable_scan_cached_within_epoch(self):
+        resident = _block(64 * MiB, BlockState.INHBM)
+        need = _block(32 * MiB, BlockState.INDDR)
+        mgr = _capacity_manager(uncommitted=0, registry=[resident])
+        strategy = self._strategy(mgr)
+        task = SimpleNamespace(blocks=[need])
+        assert strategy.can_fetch_task(task) is True
+        assert strategy._freeable_cache == (0, 64 * MiB)
+        # registry iteration is O(n); within one epoch the probe reuses the
+        # cache (replace the registry with a trap to prove it)
+        mgr.registry = None
+        assert strategy.can_fetch_task(task) is True
+
+    def test_epoch_bump_recomputes_freeable_bytes(self):
+        """A block becoming busy must be seen at the next epoch — the
+        cache may never return a stale 'yes there is space'."""
+        resident = _block(64 * MiB, BlockState.INHBM)
+        need = _block(32 * MiB, BlockState.INDDR)
+        mgr = _capacity_manager(uncommitted=0, registry=[resident])
+        strategy = self._strategy(mgr)
+        task = SimpleNamespace(blocks=[need])
+        assert strategy.can_fetch_task(task) is True
+        # the resident block gets acquired by a running task; the manager
+        # bumps change_epoch for exactly this kind of transition
+        resident.in_use = True
+        mgr.change_epoch += 1
+        assert strategy.can_fetch_task(task) is False
+        assert strategy._freeable_cache == (1, 0)
+
+    def test_epoch_bump_sees_newly_freeable_space(self):
+        resident = _block(64 * MiB, BlockState.INHBM, in_use=True)
+        need = _block(32 * MiB, BlockState.INDDR)
+        mgr = _capacity_manager(uncommitted=0, registry=[resident])
+        strategy = self._strategy(mgr)
+        task = SimpleNamespace(blocks=[need])
+        assert strategy.can_fetch_task(task) is False
+        resident.in_use = False  # its task finished
+        mgr.change_epoch += 1
+        assert strategy.can_fetch_task(task) is True
+
+    def test_real_runtime_bumps_epoch_on_completion(self):
+        """End-to-end: change_epoch moved during the run, and the cached
+        epoch never runs ahead of the manager's."""
+        built = run_once("multi-io")
+        mgr = built.manager
+        assert mgr.change_epoch > 0
+        assert built.strategy._freeable_cache[0] <= mgr.change_epoch
