@@ -1,0 +1,58 @@
+"""Sanitizer overhead guard (opt-in: ``pytest benchmarks/bench_sanitizer.py``).
+
+The repro.lint hook sites in the hot paths (DataBlock retain/release,
+PagedAllocator take/give-back, DataMover move, kernel access) are a single
+module-global ``is not None`` test when no sanitizer is installed.  This
+bench quantifies both sides on a hook-heavy workload — a Stencil3D run
+under multi-io, where every task retains/releases its dependences and the
+IO threads fetch/evict continuously:
+
+* ``off``  — hooks present but no observer (the default everywhere);
+* ``on``   — a recording :class:`~repro.lint.sanitizer.SimSanitizer`.
+
+Results are informational (printed); the only assertion is a loose sanity
+bound so a pathological slowdown fails loudly.  Deliberately NOT part of
+``BENCH_simcore.json`` — the sim-core baselines track the fluid solver and
+must not absorb sanitizer noise.
+"""
+
+from __future__ import annotations
+
+from repro.apps.stencil3d import Stencil3D, StencilConfig
+from repro.bench.regression import best_wall_time
+from repro.core.api import OOCRuntimeBuilder
+from repro.lint import SimSanitizer
+from repro.units import GiB, MiB
+
+
+def run_stencil(sanitize: bool) -> int:
+    built = OOCRuntimeBuilder("multi-io", cores=16,
+                              mcdram_capacity=256 * MiB,
+                              ddr_capacity=2 * GiB, trace=False).build()
+    sanitizer = SimSanitizer(mode="record").install(built.manager) \
+        if sanitize else None
+    try:
+        cfg = StencilConfig(total_bytes=GiB, block_bytes=16 * MiB,
+                            iterations=3)
+        Stencil3D(built, cfg).run()
+        if sanitizer is not None:
+            assert built.manager.check_quiescent() == 0
+            assert not sanitizer.violations
+            return sanitizer.events_observed
+        return 0
+    finally:
+        if sanitizer is not None:
+            sanitizer.uninstall()
+
+
+def test_sanitizer_overhead_is_bounded() -> None:
+    off_s, _ = best_wall_time(lambda: run_stencil(False), repeats=2)
+    on_s, events = best_wall_time(lambda: run_stencil(True), repeats=2)
+    overhead = on_s / off_s
+    print(f"\nsanitizer off: {off_s * 1e3:.1f}ms   "
+          f"on: {on_s * 1e3:.1f}ms   overhead: {overhead:.2f}x   "
+          f"({events} hook events)")
+    assert events > 0
+    # loose guard: per-event work is O(1) attribute checks, so the whole
+    # run must stay within small-multiple territory even on noisy machines
+    assert overhead < 3.0

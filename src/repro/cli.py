@@ -7,15 +7,21 @@ Commands
     Regenerate the paper's figures (all or a subset) and print the tables.
 ``stencil`` / ``matmul``
     Run one application configuration under one strategy and report
-    timings plus the OOC manager summary.
+    timings plus the OOC manager summary.  ``--sanitize`` runs under the
+    :mod:`repro.lint` runtime sanitizer and fails on invariant violations.
 ``stream``
-    Print the Figure-1 STREAM table.
+    Print the Figure-1 STREAM table (``--sanitize`` supported).
+``lint``
+    Statically check dependence declarations (``@entry`` vs kernel usage)
+    in files, directories or importable modules; non-zero exit on errors.
 
 Examples::
 
     python -m repro experiments --figures fig1 fig8 --scale small
     python -m repro stencil --strategy multi-io --total 2GiB --block 4MiB
     python -m repro matmul --strategy single-io --working-set 1.5GiB
+    python -m repro lint src/repro/apps examples
+    python -m repro stencil --sanitize --total 512MiB --block 8MiB
 """
 
 from __future__ import annotations
@@ -56,6 +62,9 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         help="HBM capacity (default 1GiB = 1/16 scale)")
     parser.add_argument("--ddr", default="6GiB",
                         help="DDR4 capacity (default 6GiB = 1/16 scale)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run under the repro.lint runtime sanitizer "
+                             "(simsan); non-zero exit on violations")
 
 
 def _build(args: argparse.Namespace) -> _t.Any:
@@ -64,6 +73,27 @@ def _build(args: argparse.Namespace) -> _t.Any:
         mcdram_capacity=parse_size(args.mcdram),
         ddr_capacity=parse_size(args.ddr),
         trace=True).build()
+
+
+def _start_sanitizer(args: argparse.Namespace) -> _t.Any:
+    """Install the runtime sanitizer when ``--sanitize`` was given."""
+    if not getattr(args, "sanitize", False):
+        return None
+    from repro.lint import SimSanitizer
+    return SimSanitizer(mode="record").install()
+
+
+def _finish_sanitizer(sanitizer: _t.Any, manager: _t.Any = None) -> int:
+    """Quiescence-check, report and uninstall; returns the exit code."""
+    if sanitizer is None:
+        return 0
+    try:
+        if manager is not None:
+            sanitizer.check_quiescent(manager)
+        print(sanitizer.render())
+    finally:
+        sanitizer.uninstall()
+    return 1 if sanitizer.violations else 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -81,7 +111,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_stencil(args: argparse.Namespace) -> int:
+    sanitizer = _start_sanitizer(args)
     built = _build(args)
+    if sanitizer is not None:
+        sanitizer.bind(built.manager)
     cfg = StencilConfig(total_bytes=parse_size(args.total),
                         block_bytes=parse_size(args.block),
                         iterations=args.iterations)
@@ -99,11 +132,14 @@ def _cmd_stencil(args: argparse.Namespace) -> int:
     print("hbm occupancy   :")
     print(render_occupancy(built.manager.occupancy_log,
                            built.machine.hbm.capacity, width=60))
-    return 0
+    return _finish_sanitizer(sanitizer, built.manager)
 
 
 def _cmd_matmul(args: argparse.Namespace) -> int:
+    sanitizer = _start_sanitizer(args)
     built = _build(args)
+    if sanitizer is not None:
+        sanitizer.bind(built.manager)
     cfg = MatMulConfig.for_working_set(parse_size(args.working_set),
                                        block_dim=args.block_dim)
     app = MatMul(built, cfg)
@@ -115,13 +151,37 @@ def _cmd_matmul(args: argparse.Namespace) -> int:
     print(f"mean kernel/task: {format_time(result.mean_kernel_time)}")
     for key, value in built.manager.summary().items():
         print(f"{key:16s}: {value}")
-    return 0
+    return _finish_sanitizer(sanitizer, built.manager)
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
+    sanitizer = _start_sanitizer(args)
     print(render_experiment(exps.fig1_stream_bandwidth(
         threads=args.threads)))
-    return 0
+    return _finish_sanitizer(sanitizer)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import RULES, check_paths
+
+    if args.rules:
+        for rule in RULES.values():
+            print(f"{rule.id} {rule.severity.value:7s} {rule.title}")
+            print(f"    {rule.description}")
+        return 0
+    if not args.targets:
+        print("lint: no targets given (files, directories or module names)",
+              file=sys.stderr)
+        return 2
+    try:
+        report = check_paths(args.targets)
+    except FileNotFoundError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    for finding in report:
+        print(finding.render())
+    print(f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)")
+    return 0 if report.ok(strict=args.strict) else 1
 
 
 def main(argv: _t.Sequence[str] | None = None) -> int:
@@ -153,7 +213,19 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
 
     p_sm = sub.add_parser("stream", help="STREAM bandwidth table (Fig 1)")
     p_sm.add_argument("--threads", type=int, default=64)
+    p_sm.add_argument("--sanitize", action="store_true",
+                      help="run under the repro.lint runtime sanitizer")
     p_sm.set_defaults(func=_cmd_stream)
+
+    p_lint = sub.add_parser(
+        "lint", help="check dependence declarations statically")
+    p_lint.add_argument("targets", nargs="*", metavar="TARGET",
+                        help="files, directories or importable module names")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="treat warnings as errors")
+    p_lint.add_argument("--rules", action="store_true",
+                        help="print the rule catalog and exit")
+    p_lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -63,6 +63,9 @@ class OOCManager:
         #: (time, hbm bytes in use) samples, one per completed move, when
         #: tracing is on — drives the occupancy timeline
         self.occupancy_log: list[tuple[float, int]] = []
+        #: active :class:`repro.lint.sanitizer.SimSanitizer`, or None (set
+        #: by ``SimSanitizer.install(manager)``)
+        self.sanitizer: _t.Any = None
         strategy.attach(self)
         runtime.install_interceptor(self)
 
@@ -173,6 +176,18 @@ class OOCManager:
             done = self.env.event(name=f"inflight:{block.name}:done")
             done.succeed(block)
             return done
+
+    # -- sanitizer glue -----------------------------------------------------------
+
+    def check_quiescent(self) -> int:
+        """Run the sanitizer's end-of-run invariant sweep, if one is active.
+
+        Returns the number of violations found (0 with no sanitizer).
+        Drivers call this after their last reduction completes.
+        """
+        if self.sanitizer is None:
+            return 0
+        return self.sanitizer.check_quiescent(self)
 
     # -- stats -----------------------------------------------------------------------
 

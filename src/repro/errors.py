@@ -22,6 +22,7 @@ __all__ = [
     "SchedulingError",
     "ConfigError",
     "ExperimentError",
+    "LintError",
 ]
 
 
@@ -94,3 +95,11 @@ class ConfigError(ReproError):
 
 class ExperimentError(ReproError):
     """A benchmark experiment could not be executed as specified."""
+
+
+class LintError(ReproError):
+    """Errors raised by the :mod:`repro.lint` subsystem.
+
+    :class:`repro.lint.findings.LintViolation` derives from this; catch
+    ``LintError`` to handle sanitizer reports without importing lint.
+    """

@@ -1,0 +1,45 @@
+"""Sanitizer hook registry — the only lint module the hot paths import.
+
+Instrumented call sites (block transitions, refcounts, allocator
+bookkeeping, mover steps, kernel access) guard every hook with::
+
+    from repro.lint import hooks as _hooks
+    ...
+    if _hooks.observer is not None:
+        _hooks.observer.on_retain(self)
+
+so the cost with no sanitizer installed is one module-global load and an
+``is not None`` test — measured in the sanitizer-overhead bench and far
+below the noise floor of the sim core.  This module is dependency-free on
+purpose: importing it must never pull the rest of :mod:`repro.lint` (or
+anything else) into the hot modules.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = ["observer", "install", "uninstall"]
+
+#: the active observer (a :class:`repro.lint.sanitizer.SimSanitizer`), or
+#: None when sanitizing is off — the default
+observer: _t.Any = None
+
+
+def install(obs: _t.Any) -> None:
+    """Make ``obs`` the active observer; only one may be active."""
+    global observer
+    if observer is not None and observer is not obs:
+        raise RuntimeError("a sanitizer observer is already installed")
+    observer = obs
+
+
+def uninstall(obs: _t.Any = None) -> None:
+    """Remove the active observer (idempotent).
+
+    Passing the observer makes removal safe against double-uninstall races
+    in tests: only the currently-installed observer is removed.
+    """
+    global observer
+    if obs is None or observer is obs:
+        observer = None

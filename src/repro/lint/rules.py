@@ -1,0 +1,95 @@
+"""Rule catalog for :mod:`repro.lint`.
+
+``REP1xx`` rules are emitted by the static dependence-declaration checker
+(:mod:`repro.lint.static_checker`); ``SAN2xx`` rules by the runtime
+invariant sanitizer (:mod:`repro.lint.sanitizer`).  The catalog is data,
+not behaviour, so docs and the CLI ``--explain`` output cannot drift from
+the implementation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.lint.findings import Severity
+
+__all__ = ["Rule", "RULES", "rule", "STATIC_RULES", "SANITIZER_RULES"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One lint rule: identifier, default severity, summary."""
+
+    id: str
+    severity: Severity
+    title: str
+    description: str
+
+
+_ALL = [
+    # -- static checker (declaration vs body cross-check, paper §IV-A) -------
+    Rule("REP100", Severity.ERROR, "parse-error",
+         "the file could not be parsed as python — nothing in it was "
+         "checked"),
+    Rule("REP101", Severity.ERROR, "undeclared-dependence",
+         "a block attribute appears in self.kernel(reads=/writes=) but is "
+         "not declared on the @entry annotation — the runtime will not "
+         "prefetch it and refcount gating will not protect it"),
+    Rule("REP102", Severity.ERROR, "intent-mismatch",
+         "a dependence declared readonly appears in writes=, or one "
+         "declared writeonly appears in reads= — eviction may write back "
+         "stale data or skip a dirty block"),
+    Rule("REP103", Severity.ERROR, "prefetch-without-deps",
+         "an @entry(prefetch=True) declares no data dependences — there "
+         "is nothing for the IO threads to prefetch"),
+    Rule("REP104", Severity.WARNING, "dead-declaration",
+         "a declared dependence is never used by any self.kernel() call "
+         "in the entry body — it is fetched and refcounted for nothing"),
+    Rule("REP105", Severity.ERROR, "duplicate-intent",
+         "the same dependence name is declared with two intents on one "
+         "entry"),
+    Rule("REP106", Severity.ERROR, "duplicate-block-name",
+         "two declare_block calls in one chare class use the same literal "
+         "name — registry lookups and traces become ambiguous"),
+    Rule("REP107", Severity.ERROR, "declare-in-prefetch-entry",
+         "declare_block inside a [prefetch] entry — blocks must be "
+         "declared in a setup entry, before finalize_placement()"),
+    Rule("REP108", Severity.WARNING, "kernel-outside-prefetch",
+         "self.kernel() inside an entry not annotated [prefetch] — the "
+         "bandwidth-sensitive task is invisible to the OOC manager"),
+    # -- runtime sanitizer ("simsan") ----------------------------------------
+    Rule("SAN201", Severity.ERROR, "refcount-leak",
+         "a block still holds a non-zero refcount at quiescence — some "
+         "task retained it and never released (pinned forever, so it can "
+         "never be evicted)"),
+    Rule("SAN202", Severity.ERROR, "use-after-evict",
+         "a kernel or retain touched a block whose backing allocation is "
+         "gone or which is mid-move — the simulated bytes do not exist "
+         "where the task thinks they do"),
+    Rule("SAN203", Severity.ERROR, "double-evict",
+         "a block whose allocation is already dead was freed or moved "
+         "again — the classic double-evict/double-free pair"),
+    Rule("SAN204", Severity.ERROR, "capacity-conservation",
+         "device byte accounting went out of bounds (used < 0 or "
+         "used > capacity), or registry-visible residency exceeds the "
+         "allocator's books"),
+    Rule("SAN205", Severity.ERROR, "stuck-moving",
+         "a block is still in the transient MOVING state at a quiescence "
+         "point — a move was abandoned without rollback (the PR 1 bug "
+         "class)"),
+    Rule("SAN206", Severity.ERROR, "non-quiescent-shutdown",
+         "wait queues, run queues or in-flight moves are non-empty at "
+         "shutdown — pending waiters will never be served"),
+    Rule("SAN207", Severity.ERROR, "refcount-underflow",
+         "release() on a block whose refcount is already zero — a task "
+         "released dependences it never retained"),
+]
+
+RULES: dict[str, Rule] = {r.id: r for r in _ALL}
+STATIC_RULES: dict[str, Rule] = {r.id: r for r in _ALL if r.id.startswith("REP")}
+SANITIZER_RULES: dict[str, Rule] = {r.id: r for r in _ALL if r.id.startswith("SAN")}
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a rule; unknown ids are a programming error."""
+    return RULES[rule_id]

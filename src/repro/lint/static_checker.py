@@ -1,0 +1,404 @@
+"""Static dependence-declaration checker (paper §IV-A cross-check).
+
+The paper's correctness contract is that every ``[prefetch]`` entry method
+declares exactly the blocks its kernel touches, with truthful intents —
+the runtime prefetches, refcounts and evicts *by declaration*, never by
+observation.  This pass parses application source (no import, no
+execution) and cross-checks each ``@entry(prefetch=..., readonly=[...],
+readwrite=[...], writeonly=[...])`` declaration against the method body's
+actual ``self.kernel(reads=[...], writes=[...])`` usage.
+
+The body analysis is a *may-use* approximation: ``[self.b, self.c][:n]``
+counts both ``b`` and ``c`` as possibly read (the STREAM app's
+kernel-selection idiom), and ``[self.A] + list(self.x_blocks)`` resolves
+through the local-variable and ``list()`` wrappers (the SpMV
+data-dependent coupling idiom).  Expressions the extractor cannot resolve
+mark the use-set *unknown*, which suppresses the rules that need
+exactness (undeclared/dead) rather than guessing.
+
+Rule ids and severities live in :mod:`repro.lint.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+import typing as _t
+
+from repro.lint.findings import Finding, LintReport
+from repro.lint.rules import STATIC_RULES
+
+__all__ = ["check_paths", "check_file", "check_source", "iter_python_files"]
+
+#: class names that make a subclass chare-like without further evidence
+_CHARE_ROOTS = {"Chare", "NodeGroup"}
+
+
+def _finding(rule_id: str, message: str, file: str, line: int, *,
+             chare: str = "", entry: str = "") -> Finding:
+    spec = STATIC_RULES[rule_id]
+    return Finding(rule=rule_id, severity=spec.severity, message=message,
+                   file=file, line=line, chare=chare, entry=entry)
+
+
+# -- entry-decorator parsing ---------------------------------------------------
+
+
+@dataclasses.dataclass
+class _EntryDecl:
+    """Parsed ``@entry(...)`` decoration on one method."""
+
+    line: int
+    prefetch: bool = False
+    #: attr name -> intent string ("readonly" | "readwrite" | "writeonly")
+    deps: dict[str, str] = dataclasses.field(default_factory=dict)
+    #: same name declared under two intents: (name, line) pairs
+    duplicate_intents: list[str] = dataclasses.field(default_factory=list)
+    #: True when a dep list was not a literal list of strings
+    unknown_deps: bool = False
+
+
+def _decorator_is_entry(dec: ast.expr) -> bool:
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    if isinstance(target, ast.Name):
+        return target.id == "entry"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "entry"
+    return False
+
+
+def _parse_entry_decorator(dec: ast.expr) -> _EntryDecl | None:
+    if not _decorator_is_entry(dec):
+        return None
+    decl = _EntryDecl(line=dec.lineno)
+    if not isinstance(dec, ast.Call):
+        return decl
+    for kw in dec.keywords:
+        if kw.arg == "prefetch":
+            if isinstance(kw.value, ast.Constant):
+                decl.prefetch = bool(kw.value.value)
+            else:
+                decl.unknown_deps = True
+        elif kw.arg in ("readonly", "readwrite", "writeonly"):
+            names = _literal_str_list(kw.value)
+            if names is None:
+                decl.unknown_deps = True
+                continue
+            for name in names:
+                if name in decl.deps:
+                    decl.duplicate_intents.append(name)
+                decl.deps[name] = kw.arg
+    return decl
+
+
+def _literal_str_list(node: ast.expr) -> list[str] | None:
+    if not isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        return None
+    out: list[str] = []
+    for elt in node.elts:
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+            out.append(elt.value)
+        else:
+            return None
+    return out
+
+
+# -- kernel-argument extraction -------------------------------------------------
+
+#: wrappers that pass their first argument's blocks through
+_TRANSPARENT_CALLS = {"list", "tuple", "sorted", "reversed", "set"}
+
+
+def _block_attrs(node: ast.expr | None,
+                 local_defs: _t.Mapping[str, ast.expr],
+                 _depth: int = 0) -> tuple[set[str], bool]:
+    """``self.X`` attribute names an expression may evaluate to.
+
+    Returns ``(attrs, unknown)``; ``unknown`` is True when part of the
+    expression could not be resolved, making the set a lower bound.
+    """
+    if node is None or _depth > 20:
+        return set(), node is not None
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return {node.attr}, False
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        attrs: set[str] = set()
+        unknown = False
+        for elt in node.elts:
+            sub, sub_unknown = _block_attrs(elt, local_defs, _depth + 1)
+            attrs |= sub
+            unknown |= sub_unknown
+        return attrs, unknown
+    if isinstance(node, ast.Starred):
+        return _block_attrs(node.value, local_defs, _depth + 1)
+    if isinstance(node, ast.Call):
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id in _TRANSPARENT_CALLS \
+                and len(node.args) == 1:
+            return _block_attrs(node.args[0], local_defs, _depth + 1)
+        return set(), True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left, lu = _block_attrs(node.left, local_defs, _depth + 1)
+        right, ru = _block_attrs(node.right, local_defs, _depth + 1)
+        return left | right, lu or ru
+    if isinstance(node, ast.Subscript):
+        # A slice/index of a block list may use any element: may-use.
+        return _block_attrs(node.value, local_defs, _depth + 1)
+    if isinstance(node, ast.IfExp):
+        body, bu = _block_attrs(node.body, local_defs, _depth + 1)
+        orelse, ou = _block_attrs(node.orelse, local_defs, _depth + 1)
+        return body | orelse, bu or ou
+    if isinstance(node, ast.Name):
+        if node.id in local_defs:
+            return _block_attrs(local_defs[node.id], local_defs, _depth + 1)
+        return set(), True
+    if isinstance(node, ast.Constant) and node.value in (None, (), []):
+        return set(), False
+    return set(), True
+
+
+@dataclasses.dataclass
+class _KernelUse:
+    """One ``self.kernel(...)`` call's extracted read/write attrs."""
+
+    line: int
+    reads: set[str]
+    writes: set[str]
+    unknown: bool
+
+
+def _is_self_call(node: ast.Call, method: str) -> bool:
+    return (isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self")
+
+
+def _collect_kernel_uses(func: ast.FunctionDef) -> list[_KernelUse]:
+    local_defs: dict[str, ast.expr] = {}
+    uses: list[_KernelUse] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            local_defs[node.targets[0].id] = node.value
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Call) and _is_self_call(node, "kernel")):
+            continue
+        reads_expr: ast.expr | None = None
+        writes_expr: ast.expr | None = None
+        # kernel(flops, reads, writes, ...) — positional or keyword
+        if len(node.args) >= 2:
+            reads_expr = node.args[1]
+        if len(node.args) >= 3:
+            writes_expr = node.args[2]
+        for kw in node.keywords:
+            if kw.arg == "reads":
+                reads_expr = kw.value
+            elif kw.arg == "writes":
+                writes_expr = kw.value
+        reads, r_unknown = _block_attrs(reads_expr, local_defs)
+        writes, w_unknown = _block_attrs(writes_expr, local_defs)
+        uses.append(_KernelUse(line=node.lineno, reads=reads, writes=writes,
+                               unknown=r_unknown or w_unknown))
+    return uses
+
+
+def _collect_declared_blocks(func: ast.FunctionDef) -> list[tuple[str, int]]:
+    """Literal first arguments of ``self.declare_block(...)`` calls."""
+    out: list[tuple[str, int]] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and _is_self_call(node, "declare_block"):
+            if node.args and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                out.append((node.args[0].value, node.lineno))
+            else:
+                out.append(("", node.lineno))
+    return out
+
+
+# -- class discovery -------------------------------------------------------------
+
+
+def _chare_classes(tree: ast.Module) -> list[ast.ClassDef]:
+    """Classes (transitively) deriving from Chare/NodeGroup in this module."""
+    classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+    chare_like: set[str] = set(_CHARE_ROOTS)
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in chare_like:
+                continue
+            for base in cls.bases:
+                name = base.id if isinstance(base, ast.Name) else (
+                    base.attr if isinstance(base, ast.Attribute) else None)
+                if name in chare_like:
+                    chare_like.add(cls.name)
+                    changed = True
+                    break
+    return [c for c in classes if c.name in chare_like
+            and c.name not in _CHARE_ROOTS]
+
+
+# -- per-class checks -------------------------------------------------------------
+
+
+def _check_class(cls: ast.ClassDef, file: str) -> list[Finding]:
+    findings: list[Finding] = []
+    declared_names: dict[str, int] = {}
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        decl: _EntryDecl | None = None
+        for dec in method.decorator_list:
+            decl = _parse_entry_decorator(dec)
+            if decl is not None:
+                break
+        block_decls = _collect_declared_blocks(method)
+        for name, line in block_decls:
+            if not name:
+                continue
+            if name in declared_names:
+                findings.append(_finding(
+                    "REP106",
+                    f"block {name!r} declared twice (first at line "
+                    f"{declared_names[name]})", file, line,
+                    chare=cls.name, entry=method.name))
+            else:
+                declared_names[name] = line
+        if decl is None:
+            continue  # helper method: declare_block here may run from setup
+        if decl.prefetch and block_decls:
+            findings.append(_finding(
+                "REP107",
+                "declare_block inside a [prefetch] entry; blocks must be "
+                "declared during setup, before finalize_placement()",
+                file, block_decls[0][1], chare=cls.name, entry=method.name))
+        for name in decl.duplicate_intents:
+            findings.append(_finding(
+                "REP105", f"dependence {name!r} declared with two intents",
+                file, decl.line, chare=cls.name, entry=method.name))
+        if decl.prefetch and not decl.deps and not decl.unknown_deps:
+            findings.append(_finding(
+                "REP103", "[prefetch] entry declares no data dependences",
+                file, decl.line, chare=cls.name, entry=method.name))
+        findings.extend(_check_entry_body(cls, method, decl, file))
+    return findings
+
+
+def _check_entry_body(cls: ast.ClassDef, method: ast.FunctionDef,
+                      decl: _EntryDecl, file: str) -> list[Finding]:
+    findings: list[Finding] = []
+    uses = _collect_kernel_uses(method)
+    if not uses:
+        return findings
+    used_reads: set[str] = set()
+    used_writes: set[str] = set()
+    any_unknown = False
+    for use in uses:
+        used_reads |= use.reads
+        used_writes |= use.writes
+        any_unknown |= use.unknown
+    if not decl.prefetch and not decl.deps and not decl.unknown_deps:
+        findings.append(_finding(
+            "REP108",
+            "self.kernel() in an entry without [prefetch]: the task is "
+            "invisible to the OOC manager (no prefetch, no refcount "
+            "gating)", file, uses[0].line,
+            chare=cls.name, entry=method.name))
+        return findings
+    for attr in sorted((used_reads | used_writes) - set(decl.deps)):
+        if decl.unknown_deps:
+            break  # cannot prove undeclared against a non-literal list
+        findings.append(_finding(
+            "REP101",
+            f"kernel uses self.{attr} but the entry does not declare it",
+            file, uses[0].line, chare=cls.name, entry=method.name))
+    for attr, intent in decl.deps.items():
+        if intent == "readonly" and attr in used_writes:
+            findings.append(_finding(
+                "REP102",
+                f"self.{attr} is declared readonly but appears in writes=",
+                file, uses[0].line, chare=cls.name, entry=method.name))
+        if intent == "writeonly" and attr in used_reads:
+            findings.append(_finding(
+                "REP102",
+                f"self.{attr} is declared writeonly but appears in reads=",
+                file, uses[0].line, chare=cls.name, entry=method.name))
+    if not any_unknown:
+        for attr in decl.deps:
+            if attr not in used_reads and attr not in used_writes:
+                findings.append(_finding(
+                    "REP104",
+                    f"declared dependence {attr!r} is never used by a "
+                    "kernel in this entry", file, decl.line,
+                    chare=cls.name, entry=method.name))
+    return findings
+
+
+# -- entry points ------------------------------------------------------------------
+
+
+def check_source(source: str, filename: str = "<string>") -> list[Finding]:
+    """Lint one source text; returns findings (empty on clean)."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [_finding("REP100", f"could not parse: {exc.msg}",
+                         filename, exc.lineno or 1)]
+    findings: list[Finding] = []
+    for cls in _chare_classes(tree):
+        findings.extend(_check_class(cls, filename))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings
+
+
+def check_file(path: str | os.PathLike) -> list[Finding]:
+    """Lint one python file; findings are anchored to its path."""
+    with open(path, encoding="utf-8") as fh:
+        return check_source(fh.read(), filename=str(path))
+
+
+def iter_python_files(paths: _t.Iterable[str | os.PathLike]
+                      ) -> _t.Iterator[str]:
+    """Expand files / directories / importable module names to .py files."""
+    for path in paths:
+        spath = str(path)
+        if os.path.isdir(spath):
+            for dirpath, dirnames, filenames in os.walk(spath):
+                dirnames.sort()
+                for fn in sorted(filenames):
+                    if fn.endswith(".py"):
+                        yield os.path.join(dirpath, fn)
+        elif os.path.isfile(spath):
+            yield spath
+        else:
+            yield from _module_files(spath)
+
+
+def _module_files(name: str) -> _t.Iterator[str]:
+    import importlib.util
+    try:
+        spec = importlib.util.find_spec(name)
+    except (ImportError, ValueError) as exc:
+        raise FileNotFoundError(
+            f"lint target {name!r} is neither a path nor an importable "
+            f"module ({exc})") from None
+    if spec is None:
+        raise FileNotFoundError(
+            f"lint target {name!r} is neither a path nor an importable module")
+    if spec.submodule_search_locations:
+        for location in spec.submodule_search_locations:
+            yield from iter_python_files([location])
+    elif spec.origin and spec.origin.endswith(".py"):
+        yield spec.origin
+
+
+def check_paths(paths: _t.Iterable[str | os.PathLike]) -> LintReport:
+    """Lint every python file under ``paths``; returns the aggregate report."""
+    report = LintReport()
+    for file in iter_python_files(paths):
+        report.extend(check_file(file))
+    return report

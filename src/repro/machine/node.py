@@ -15,6 +15,7 @@ import typing as _t
 
 from repro.config import MachineConfig
 from repro.errors import ConfigError
+from repro.lint import hooks as _hooks
 from repro.machine.cpu import Core, build_cpu
 from repro.mem.allocator import PagedAllocator
 from repro.mem.device import MemoryDevice
@@ -147,6 +148,10 @@ class MachineNode:
         This is how the Naive baseline's penalty arises: blocks left on DDR4
         drag the kernel down to DDR4 bandwidth.
         """
+        reads = tuple(reads)
+        writes = tuple(writes)
+        if _hooks.observer is not None:
+            _hooks.observer.on_kernel_access(reads, writes)
         traffic: dict[MemoryDevice, list[float]] = {}
         for block in reads:
             if block.device is None:

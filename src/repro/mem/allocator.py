@@ -22,6 +22,7 @@ from bisect import insort
 from itertools import count
 
 from repro.errors import AllocationError, CapacityError
+from repro.lint import hooks as _hooks
 
 __all__ = ["Allocation", "Allocator", "BumpAllocator", "FreeListAllocator",
            "PagedAllocator", "PoolAllocator"]
@@ -112,8 +113,12 @@ class Allocator:
         self.used += nbytes
         self.peak_used = max(self.peak_used, self.used)
         self.alloc_calls += 1
+        if _hooks.observer is not None:
+            _hooks.observer.on_alloc(self, nbytes)
 
     def _give_back(self, allocation: Allocation) -> None:
+        if _hooks.observer is not None:
+            _hooks.observer.on_free(self, allocation)
         if not allocation.live:
             raise AllocationError(f"double free of {allocation!r}")
         allocation.live = False

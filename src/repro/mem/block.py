@@ -19,6 +19,7 @@ import typing as _t
 from itertools import count
 
 from repro.errors import BlockStateError
+from repro.lint import hooks as _hooks
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.mem.allocator import Allocation
@@ -116,6 +117,8 @@ class DataBlock:
 
     def retain(self, now: float | None = None) -> int:
         """Increment the refcount (a dependent task was scheduled)."""
+        if _hooks.observer is not None:
+            _hooks.observer.on_retain(self)
         self._refcount += 1
         if now is not None:
             self.last_scheduled_at = now
@@ -123,6 +126,8 @@ class DataBlock:
 
     def release(self) -> int:
         """Decrement the refcount (a dependent task finished)."""
+        if _hooks.observer is not None:
+            _hooks.observer.on_release(self)
         if self._refcount <= 0:
             raise BlockStateError(
                 f"refcount underflow on block {self.name!r}")
@@ -176,6 +181,8 @@ class DataBlock:
         return self.state is BlockState.MOVING
 
     def begin_move(self) -> None:
+        if _hooks.observer is not None:
+            _hooks.observer.on_begin_move(self)
         if self.state is BlockState.MOVING:
             raise BlockStateError(f"block {self.name!r} is already moving")
         self.state = BlockState.MOVING
@@ -186,6 +193,8 @@ class DataBlock:
             raise BlockStateError("settle() needs a concrete state")
         self.device = device
         self.state = state
+        if _hooks.observer is not None:
+            _hooks.observer.on_settle(self)
 
     def __repr__(self) -> str:
         dev = self.device.name if self.device else "-"

@@ -30,6 +30,7 @@ import math
 import typing as _t
 
 from repro.errors import BlockStateError, CapacityError
+from repro.lint import hooks as _hooks
 from repro.mem.block import DataBlock
 from repro.mem.device import MemoryDevice
 from repro.mem.topology import MemoryTopology
@@ -111,6 +112,8 @@ class DataMover:
                 requested=block.nbytes, available=dst.available)
 
         started = self.env.now
+        if _hooks.observer is not None:
+            _hooks.observer.on_move_start(block, src, dst)
         block.begin_move()
         src_alloc = block.allocation
 
@@ -149,6 +152,8 @@ class DataMover:
         block.allocation = dst_alloc
         block.settle(dst, self.topology.state_for(dst))
         block.bytes_moved += block.nbytes
+        if _hooks.observer is not None:
+            _hooks.observer.on_move_end(block, src, dst)
 
         self.moves_completed += 1
         self.bytes_moved += block.nbytes
@@ -187,6 +192,8 @@ class DataMover:
                 requested=padded, available=dst.available)
 
         started = self.env.now
+        if _hooks.observer is not None:
+            _hooks.observer.on_move_start(block, src, dst)
         block.begin_move()
         src_alloc = block.allocation
         try:
@@ -210,6 +217,8 @@ class DataMover:
         block.allocation = dst_alloc
         block.settle(dst, self.topology.state_for(dst))
         block.bytes_moved += padded
+        if _hooks.observer is not None:
+            _hooks.observer.on_move_end(block, src, dst)
 
         self.moves_completed += 1
         self.bytes_moved += padded

@@ -52,30 +52,42 @@ class EntrySpec:
         self.exclusive = exclusive
 
     def resolve_deps(self, chare: "Chare") -> list[tuple[DataBlock, AccessIntent]]:
-        """Look up the dependence blocks on a concrete chare instance."""
+        """Look up the dependence blocks on a concrete chare instance.
+
+        Resolution happens at message time, so data-dependent block lists
+        (any non-string iterable of :class:`DataBlock`) work.  Every failure
+        names the chare class, the entry method and the offending attribute —
+        these errors surface deep inside the interception layer, far from the
+        declaration that caused them.
+        """
         resolved: list[tuple[DataBlock, AccessIntent]] = []
+        where = f"{type(chare).__name__}.{self.name}"
         for attr, intent in self.deps:
             try:
                 value = getattr(chare, attr)
             except AttributeError:
                 raise EntryMethodError(
-                    f"{type(chare).__name__}.{self.name}: dependence "
-                    f"attribute {attr!r} does not exist") from None
+                    f"{where}: dependence attribute {attr!r} does not exist "
+                    "on the chare (declared on @entry but never assigned)"
+                ) from None
             if value is None:
                 continue
             if isinstance(value, DataBlock):
                 resolved.append((value, intent))
-            elif isinstance(value, (list, tuple)):
-                for item in value:
+            elif isinstance(value, _t.Iterable) and not isinstance(
+                    value, (str, bytes)):
+                for index, item in enumerate(value):
                     if not isinstance(item, DataBlock):
                         raise EntryMethodError(
-                            f"{type(chare).__name__}.{attr} contains a "
-                            f"non-DataBlock {item!r}")
+                            f"{where}: dependence attribute {attr!r} "
+                            f"contains a non-DataBlock at index {index}: "
+                            f"{item!r} ({type(item).__name__})")
                     resolved.append((item, intent))
             else:
                 raise EntryMethodError(
-                    f"{type(chare).__name__}.{attr} is {type(value).__name__}, "
-                    "expected DataBlock or list of DataBlocks")
+                    f"{where}: dependence attribute {attr!r} is "
+                    f"{type(value).__name__}, expected a DataBlock or an "
+                    "iterable of DataBlocks")
         return resolved
 
     def __repr__(self) -> str:

@@ -1,0 +1,44 @@
+"""Deliberately broken chare declarations for the repro.lint checker tests.
+
+This module is never imported — the checker works on source text only, so
+decorator arguments that would raise at import time (``@entry(prefetch=True)``
+with no deps) are fine here.  Each entry seeds exactly the rule named in its
+comment; tests/test_lint_checker.py asserts the rule multiset.
+"""
+from repro.runtime.chare import Chare
+from repro.runtime.entry import entry
+
+
+class BrokenChare(Chare):
+    @entry
+    def setup(self, msg):
+        self.a = self.declare_block("a", 1024)
+        self.b = self.declare_block("a", 1024)  # REP106: duplicate name
+
+    @entry(prefetch=True, readonly=["a"], readwrite=["a"])  # REP105
+    def twice(self):
+        yield from self.kernel(flops=1.0, reads=[self.a], writes=[])
+
+    @entry(prefetch=True, readonly=["a"])
+    def mismatch(self):
+        # REP101: self.b undeclared; REP102: readonly 'a' is written
+        yield from self.kernel(flops=1.0, reads=[self.b], writes=[self.a])
+
+    @entry(prefetch=True, readonly=["a"], writeonly=["b"])  # REP104: dead 'b'
+    def dead(self):
+        yield from self.kernel(flops=1.0, reads=[self.a], writes=[])
+
+    @entry(prefetch=True, readonly=["a"])
+    def declare_inside(self):
+        self.c = self.declare_block("c", 64)  # REP107
+        yield from self.kernel(flops=1.0, reads=[self.a], writes=[])
+
+    @entry
+    def unmanaged(self):
+        yield from self.kernel(flops=1.0, reads=[self.a], writes=[])  # REP108
+
+
+class NoDeps(Chare):
+    @entry(prefetch=True)  # REP103: prefetch without dependences
+    def nothing(self):
+        yield

@@ -1,0 +1,79 @@
+"""CLI tests for `repro lint` and the `--sanitize` run flag."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.lint import hooks
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "lint_bad_chare.py")
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
+
+
+class TestLintCommand:
+    def test_clean_targets_exit_zero(self, capsys):
+        assert main(["lint", os.path.join(SRC, "apps")]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_module_name_target(self, capsys):
+        assert main(["lint", "repro.apps.stencil3d"]) == 0
+
+    def test_seeded_fixture_exits_nonzero_with_anchor(self, capsys):
+        assert main(["lint", FIXTURE]) == 1
+        out = capsys.readouterr().out
+        assert "REP102" in out
+        assert f"{FIXTURE}:25" in out  # file:line anchor
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        target = tmp_path / "warn_only.py"
+        target.write_text(
+            "class C(Chare):\n"
+            "    @entry\n"
+            "    def go(self):\n"
+            "        yield from self.kernel(flops=1, reads=[self.a],\n"
+            "                               writes=[])\n")
+        assert main(["lint", str(target)]) == 0
+        assert main(["lint", "--strict", str(target)]) == 1
+        assert "REP108" in capsys.readouterr().out
+
+    def test_unknown_target_exits_two(self, capsys):
+        assert main(["lint", "no.such.module.anywhere"]) == 2
+        assert "lint:" in capsys.readouterr().err
+
+    def test_no_targets_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REP101" in out and "SAN205" in out
+
+
+class TestSanitizeFlag:
+    COMMON = ["--cores", "8", "--mcdram", "128MiB", "--ddr", "1GiB"]
+
+    def test_stencil_sanitized_run_is_clean(self, capsys):
+        code = main(["stencil", "--sanitize", "--strategy", "multi-io",
+                     *self.COMMON, "--total", "256MiB", "--block", "8MiB",
+                     "--iterations", "1"])
+        assert code == 0
+        assert "simsan: 0 violations" in capsys.readouterr().out
+        assert hooks.observer is None  # uninstalled even on success
+
+    def test_matmul_sanitized_run_is_clean(self, capsys):
+        code = main(["matmul", "--sanitize", "--strategy", "single-io",
+                     *self.COMMON, "--working-set", "64MiB",
+                     "--block-dim", "64"])
+        assert code == 0
+        assert "simsan: 0 violations" in capsys.readouterr().out
+
+    def test_stream_sanitized(self, capsys):
+        assert main(["stream", "--sanitize", "--threads", "8"]) == 0
+        assert "simsan: 0 violations" in capsys.readouterr().out
+
+    def test_without_flag_no_observer_is_installed(self, capsys):
+        assert main(["stream", "--threads", "8"]) == 0
+        assert "simsan" not in capsys.readouterr().out
+        assert hooks.observer is None

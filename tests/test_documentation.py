@@ -28,6 +28,8 @@ MODULES = [
     "repro.core.strategies", "repro.core.strategies.base",
     "repro.apps", "repro.apps.stencil3d", "repro.apps.matmul",
     "repro.apps.stream_app", "repro.apps.jacobi2d", "repro.apps.spmv",
+    "repro.lint", "repro.lint.findings", "repro.lint.rules",
+    "repro.lint.hooks", "repro.lint.static_checker", "repro.lint.sanitizer",
     "repro.trace", "repro.bench",
 ]
 

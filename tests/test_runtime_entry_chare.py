@@ -109,6 +109,68 @@ class TestDepResolution:
             Sample._entry_specs["compute"].resolve_deps(chare)
 
 
+class TestDepResolutionErrors:
+    """Every resolve_deps failure names chare, entry and attribute — these
+    errors surface deep in the interception layer, far from the cause."""
+
+    def make_chare(self):
+        rt = make_runtime()
+        return rt.create_array(Sample, 1)[(0,)]
+
+    def test_missing_attribute_names_the_scene(self):
+        chare = self.make_chare()
+        with pytest.raises(EntryMethodError, match=r"Sample\.compute.*'a'"):
+            Sample._entry_specs["compute"].resolve_deps(chare)
+
+    def test_wrong_type_names_the_scene(self):
+        chare = self.make_chare()
+        chare.a = 42
+        chare.b = None
+        with pytest.raises(EntryMethodError,
+                           match=r"Sample\.compute.*'a'.*int"):
+            Sample._entry_specs["compute"].resolve_deps(chare)
+
+    def test_bad_item_names_scene_and_index(self):
+        chare = self.make_chare()
+        chare.blocks = [chare.declare_block("x", MiB), "oops"]
+        with pytest.raises(
+                EntryMethodError,
+                match=r"Sample\.uses_list.*'blocks'.*index 1.*str"):
+            Sample._entry_specs["uses_list"].resolve_deps(chare)
+
+    def test_generic_iterables_accepted(self):
+        """Any non-string iterable of blocks works: tuples, dict views,
+        generators — resolution happens once, at message time."""
+        chare = self.make_chare()
+        blocks = {i: chare.declare_block(f"x{i}", MiB) for i in range(3)}
+        spec = Sample._entry_specs["uses_list"]
+        chare.blocks = tuple(blocks.values())
+        assert len(spec.resolve_deps(chare)) == 3
+        chare.blocks = blocks.values()
+        assert len(spec.resolve_deps(chare)) == 3
+        chare.blocks = (b for b in blocks.values())
+        assert len(spec.resolve_deps(chare)) == 3
+
+    def test_string_attribute_is_not_treated_as_iterable(self):
+        chare = self.make_chare()
+        chare.a = "abc"
+        chare.b = None
+        with pytest.raises(EntryMethodError, match="str"):
+            Sample._entry_specs["compute"].resolve_deps(chare)
+
+    def test_message_time_resolution_sees_reassignment(self):
+        """Deps resolve per message, so data-dependent block lists track
+        the attribute's value at delivery time, not declaration time."""
+        chare = self.make_chare()
+        spec = Sample._entry_specs["uses_list"]
+        b0 = chare.declare_block("x0", MiB)
+        b1 = chare.declare_block("x1", MiB)
+        chare.blocks = [b0]
+        assert len(spec.resolve_deps(chare)) == 1
+        chare.blocks = [b0, b1]
+        assert len(spec.resolve_deps(chare)) == 2
+
+
 class TestChareArray:
     def test_create_1d_from_int(self):
         rt = make_runtime()
