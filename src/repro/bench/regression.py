@@ -62,8 +62,15 @@ def bench_path(name: str, directory: "Path | None" = None) -> Path:
 
 
 def write_bench(name: str, metrics: _t.Mapping[str, _t.Mapping[str, float]],
-                *, directory: "Path | None" = None) -> Path:
-    """Record one benchmark run; returns the path written."""
+                *, directory: "Path | None" = None,
+                metrics_digest: _t.Mapping[str, float] | None = None) -> Path:
+    """Record one benchmark run; returns the path written.
+
+    ``metrics_digest`` — typically :func:`repro.metrics.export.digest` of
+    the run's registry — rides along under its own key, so the perf
+    trajectory carries bandwidth/latency context (bytes moved, fetch
+    p95s), not just wall-time.
+    """
     path = bench_path(name, directory)
     payload = {
         "bench": name,
@@ -74,6 +81,8 @@ def write_bench(name: str, metrics: _t.Mapping[str, _t.Mapping[str, float]],
         "metrics": {scenario: dict(values)
                     for scenario, values in metrics.items()},
     }
+    if metrics_digest is not None:
+        payload["metrics_digest"] = dict(metrics_digest)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 

@@ -14,6 +14,12 @@ Commands
 ``lint``
     Statically check dependence declarations (``@entry`` vs kernel usage)
     in files, directories or importable modules; non-zero exit on errors.
+``metrics``
+    Run one application under the :mod:`repro.metrics` telemetry
+    subsystem and export the flight-recorder output (``--format
+    prom|json|report``); ``--watch`` narrates snapshot deltas live.
+    ``stencil``/``matmul`` also accept ``--metrics`` to append the same
+    output to a normal run.
 
 Examples::
 
@@ -22,6 +28,8 @@ Examples::
     python -m repro matmul --strategy single-io --working-set 1.5GiB
     python -m repro lint src/repro/apps examples
     python -m repro stencil --sanitize --total 512MiB --block 8MiB
+    python -m repro stencil --metrics --format report
+    python -m repro metrics --app stencil --watch --format prom
 """
 
 from __future__ import annotations
@@ -65,6 +73,16 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sanitize", action="store_true",
                         help="run under the repro.lint runtime sanitizer "
                              "(simsan); non-zero exit on violations")
+    parser.add_argument("--metrics", action="store_true",
+                        help="record repro.metrics telemetry and print it "
+                             "after the run")
+    parser.add_argument("--format", default="report",
+                        choices=["prom", "json", "report"],
+                        help="metrics output format (with --metrics)")
+    parser.add_argument("--metrics-interval", type=float, default=0.02,
+                        metavar="SIMSECONDS",
+                        help="flight-recorder snapshot cadence in "
+                             "simulated seconds (default 0.02)")
 
 
 def _build(args: argparse.Namespace) -> _t.Any:
@@ -96,6 +114,56 @@ def _finish_sanitizer(sanitizer: _t.Any, manager: _t.Any = None) -> int:
     return 1 if sanitizer.violations else 0
 
 
+def _start_metrics(args: argparse.Namespace, built: _t.Any,
+                   app: str) -> _t.Any:
+    """Open a :class:`repro.metrics.MetricsSession` when asked to."""
+    if not getattr(args, "metrics", False):
+        return None
+    from repro.metrics import MetricsSession, narration_line
+
+    on_snapshot = None
+    if getattr(args, "watch", False):
+        capacity = built.machine.hbm.capacity
+        tier = built.machine.hbm.name
+
+        def on_snapshot(snap, previous):  # noqa: ANN001 - callback
+            print(narration_line(snap, previous, hbm_capacity=capacity,
+                                 hbm_tier=tier))
+
+    return MetricsSession(built, app=app,
+                          cadence=getattr(args, "metrics_interval", 0.02),
+                          on_snapshot=on_snapshot)
+
+
+def _finish_metrics(session: _t.Any, args: argparse.Namespace,
+                    app: str) -> None:
+    """Stop the recorder and print the chosen export format."""
+    if session is None:
+        return
+    from repro.metrics import (counter_series, render_report, to_json,
+                               to_prometheus)
+
+    recorder = session.finish()
+    fmt = getattr(args, "format", "report")
+    if fmt == "prom":
+        print(to_prometheus(session.registry), end="")
+    elif fmt == "json":
+        print(to_json(session.registry, recorder, indent=2))
+    else:
+        print(render_report(session.registry, recorder, title=app))
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.trace import export as trace_export
+
+        payload = trace_export.to_json(
+            session.built.runtime.tracer,
+            counters=counter_series(recorder))
+        with open(trace_out, "w") as fh:
+            fh.write(payload)
+        # stderr: keep stdout machine-parseable under ``--format json/prom``
+        print(f"merged Chrome trace written to {trace_out}", file=sys.stderr)
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
     names = args.figures or sorted(_FIGURES)
@@ -115,6 +183,7 @@ def _cmd_stencil(args: argparse.Namespace) -> int:
     built = _build(args)
     if sanitizer is not None:
         sanitizer.bind(built.manager)
+    metrics = _start_metrics(args, built, "stencil")
     cfg = StencilConfig(total_bytes=parse_size(args.total),
                         block_bytes=parse_size(args.block),
                         iterations=args.iterations)
@@ -132,6 +201,7 @@ def _cmd_stencil(args: argparse.Namespace) -> int:
     print("hbm occupancy   :")
     print(render_occupancy(built.manager.occupancy_log,
                            built.machine.hbm.capacity, width=60))
+    _finish_metrics(metrics, args, "stencil")
     return _finish_sanitizer(sanitizer, built.manager)
 
 
@@ -140,6 +210,7 @@ def _cmd_matmul(args: argparse.Namespace) -> int:
     built = _build(args)
     if sanitizer is not None:
         sanitizer.bind(built.manager)
+    metrics = _start_metrics(args, built, "matmul")
     cfg = MatMulConfig.for_working_set(parse_size(args.working_set),
                                        block_dim=args.block_dim)
     app = MatMul(built, cfg)
@@ -151,7 +222,32 @@ def _cmd_matmul(args: argparse.Namespace) -> int:
     print(f"mean kernel/task: {format_time(result.mean_kernel_time)}")
     for key, value in built.manager.summary().items():
         print(f"{key:16s}: {value}")
+    _finish_metrics(metrics, args, "matmul")
     return _finish_sanitizer(sanitizer, built.manager)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run one app under the telemetry subsystem and export the metrics."""
+    args.metrics = True
+    built = _build(args)
+    metrics = _start_metrics(args, built, args.app)
+    if args.app == "stencil":
+        cfg = StencilConfig(total_bytes=parse_size(args.total),
+                            block_bytes=parse_size(args.block),
+                            iterations=args.iterations)
+        Stencil3D(built, cfg).run()
+    elif args.app == "matmul":
+        cfg = MatMulConfig.for_working_set(parse_size(args.working_set),
+                                           block_dim=args.block_dim)
+        MatMul(built, cfg).run()
+    else:
+        from repro.apps.stream_app import StreamApp, StreamAppConfig
+
+        cfg = StreamAppConfig(array_bytes=parse_size(args.array),
+                              chares=args.chares, repeats=args.repeats)
+        StreamApp(built, cfg).run()
+    _finish_metrics(metrics, args, args.app)
+    return 0
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
@@ -216,6 +312,29 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     p_sm.add_argument("--sanitize", action="store_true",
                       help="run under the repro.lint runtime sanitizer")
     p_sm.set_defaults(func=_cmd_stream)
+
+    p_mx = sub.add_parser(
+        "metrics", help="run one app under the telemetry subsystem")
+    _add_machine_args(p_mx)
+    p_mx.add_argument("--app", default="stencil",
+                      choices=["stencil", "matmul", "stream"])
+    p_mx.add_argument("--watch", action="store_true",
+                      help="narrate flight-recorder snapshot deltas live")
+    p_mx.add_argument("--trace-out", metavar="PATH",
+                      help="also write a Chrome trace with metrics counter "
+                           "tracks merged in (open in Perfetto)")
+    # stencil shape
+    p_mx.add_argument("--total", default="512MiB")
+    p_mx.add_argument("--block", default="8MiB")
+    p_mx.add_argument("--iterations", type=int, default=3)
+    # matmul shape
+    p_mx.add_argument("--working-set", default="256MiB")
+    p_mx.add_argument("--block-dim", type=int, default=96)
+    # stream shape
+    p_mx.add_argument("--array", default="4MiB")
+    p_mx.add_argument("--chares", type=int, default=64)
+    p_mx.add_argument("--repeats", type=int, default=2)
+    p_mx.set_defaults(func=_cmd_metrics)
 
     p_lint = sub.add_parser(
         "lint", help="check dependence declarations statically")

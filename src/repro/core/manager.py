@@ -15,6 +15,7 @@ from repro.core.hbm import HBMTracker
 from repro.core.ooc_task import OOCTask, TaskState
 from repro.errors import SchedulingError
 from repro.mem.block import BlockState, DataBlock
+from repro.metrics import hooks as _mx
 from repro.runtime.message import Message
 from repro.runtime.pe import PE
 from repro.runtime.runtime import CharmRuntime
@@ -132,8 +133,9 @@ class OOCManager:
         if self.queue_lock_cost > 0:
             started = self.env.now
             yield self.env.timeout(self.queue_lock_cost)
-            self.tracer.record(lane, TraceCategory.SCHEDULING,
-                               started, self.env.now, label="queue-op")
+            if self.tracer.enabled:
+                self.tracer.record(lane, TraceCategory.SCHEDULING,
+                                   started, self.env.now, label="queue-op")
 
     def pick_run_queue(self, origin: PE) -> PE:
         """Which run queue a ready task goes to.
@@ -164,6 +166,12 @@ class OOCManager:
                 f"in-flight bookkeeping mismatch for {block.name!r}")
         if self.tracer.enabled:
             self.occupancy_log.append((self.env.now, self.hbm.used))
+        if _mx.registry is not None:
+            # sampled at exactly the occupancy-log points, so the gauge's
+            # high-water mark agrees with occupancy_stats' peak
+            _mx.registry.gauge("repro_hbm_used_bytes",
+                               "HBM bytes in use at move completions"
+                               ).set(self.hbm.used)
         event.succeed(block)
 
     def inflight_event(self, block: DataBlock) -> Event:

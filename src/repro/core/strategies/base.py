@@ -20,6 +20,7 @@ import typing as _t
 
 from repro.errors import CapacityError, ConfigError, SchedulingError
 from repro.mem.block import BlockState, DataBlock
+from repro.metrics import hooks as _mx
 from repro.runtime.interception import ReadyTask
 from repro.runtime.pe import PE
 from repro.core.ooc_task import OOCTask, TaskState
@@ -126,11 +127,24 @@ class Strategy:
         """
         mgr = self._mgr()
         if block.state is BlockState.INHBM:
+            if _mx.registry is not None:
+                _mx.registry.counter(
+                    "repro_prefetch_hits_total",
+                    "fetch requests satisfied by residency",
+                    lane=lane).inc()
             return True
         if block.moving:
+            if _mx.registry is not None:
+                _mx.registry.counter(
+                    "repro_prefetch_joined_total",
+                    "fetch requests joined to an in-flight move",
+                    lane=lane).inc()
             yield mgr.inflight_event(block)
             return True
         started = mgr.env.now
+        if _mx.registry is not None:
+            _mx.registry.counter("repro_prefetch_issued_total",
+                                 "block fetches started", lane=lane).inc()
         reservation = mgr.tracker.reserve(block.nbytes)
         done_event = mgr.begin_inflight(block)
         try:
@@ -138,20 +152,38 @@ class Strategy:
         except CapacityError:
             # Fragmentation on the HBM free list: byte accounting said the
             # block fits but no contiguous range did.  Report "no space".
+            if _mx.registry is not None:
+                _mx.registry.counter(
+                    "repro_prefetch_canceled_total",
+                    "fetches abandoned (no space / fragmentation)",
+                    lane=lane).inc()
             return False
         finally:
             mgr.tracker.unreserve(reservation)
             mgr.end_inflight(block, done_event)
         self.fetches += 1
         self.bytes_fetched += block.nbytes
-        mgr.tracer.record(lane, category, started, mgr.env.now,
-                          label=f"fetch {block.name}")
+        if _mx.registry is not None:
+            _mx.registry.counter("repro_fetched_bytes_total",
+                                 "bytes fetched into HBM", lane=lane
+                                 ).inc(block.nbytes)
+            _mx.registry.histogram("repro_fetch_latency_seconds",
+                                   "reserve-to-resident fetch latency",
+                                   lane=lane).observe(mgr.env.now - started)
+        if mgr.tracer.enabled:
+            mgr.tracer.record(lane, category, started, mgr.env.now,
+                              label=f"fetch {block.name}")
         return True
 
     def evict_block(self, block: DataBlock, lane: str,
-                    category: TraceCategory = TraceCategory.IO_EVICT
-                    ) -> _t.Generator:
-        """Push one idle block back to DDR4 (generator)."""
+                    category: TraceCategory = TraceCategory.IO_EVICT,
+                    *, reason: str = "demand") -> _t.Generator:
+        """Push one idle block back to DDR4 (generator).
+
+        ``reason`` labels the eviction counter: ``post-task`` (the paper's
+        synchronous post-processing eviction), ``watermark`` (proactive
+        page-out-daemon style), or ``demand`` (making room for a fetch).
+        """
         mgr = self._mgr()
         if block.state is not BlockState.INHBM:
             return
@@ -168,8 +200,19 @@ class Strategy:
         block.last_evicted_at = mgr.env.now
         self.evictions += 1
         self.bytes_evicted += block.nbytes
-        mgr.tracer.record(lane, category, started, mgr.env.now,
-                          label=f"evict {block.name}")
+        if _mx.registry is not None:
+            _mx.registry.counter("repro_evictions_total",
+                                 "blocks evicted to DDR by cause",
+                                 reason=reason).inc()
+            _mx.registry.counter("repro_evicted_bytes_total",
+                                 "bytes evicted to DDR by cause",
+                                 reason=reason).inc(block.nbytes)
+            _mx.registry.histogram("repro_evict_latency_seconds",
+                                   "eviction move latency"
+                                   ).observe(mgr.env.now - started)
+        if mgr.tracer.enabled:
+            mgr.tracer.record(lane, category, started, mgr.env.now,
+                              label=f"evict {block.name}")
 
     #: proactive eviction watermarks, as fractions of the HBM budget: when
     #: uncommitted space drops below ``low``, evict (demand-aware LRU)
@@ -213,7 +256,8 @@ class Strategy:
         evicted = False
         for victim in victims:
             if victim.in_hbm and not victim.in_use and not victim.pinned:
-                yield from self.evict_block(victim, lane, category)
+                yield from self.evict_block(victim, lane, category,
+                                            reason="watermark")
                 evicted = True
         return evicted
 
@@ -291,7 +335,8 @@ class Strategy:
                 for victim in victims:
                     if victim.state is BlockState.INHBM and not victim.in_use:
                         yield from self.evict_block(victim, lane,
-                                                    evict_category)
+                                                    evict_category,
+                                                    reason="demand")
         for _attempt in range(3):
             for block in task.blocks:
                 if block.state is BlockState.INHBM:

@@ -94,7 +94,8 @@ class MultiIOThreadStrategy(Strategy):
             for victim in victims:
                 if victim.in_hbm and not victim.in_use and not victim.pinned:
                     yield from self.evict_block(
-                        victim, f"pe{pe.id}", TraceCategory.POSTPROCESS_EVICT)
+                        victim, f"pe{pe.id}", TraceCategory.POSTPROCESS_EVICT,
+                        reason="post-task")
         else:
             self.evict_requests[pe.id].extend(victims)
         # A completion releases reference counts, which can make blocks
@@ -127,7 +128,8 @@ class MultiIOThreadStrategy(Strategy):
                 victim = requests.popleft()
                 if victim.in_hbm and not victim.in_use and not victim.pinned:
                     yield from self.evict_block(
-                        victim, lane, TraceCategory.IO_EVICT)
+                        victim, lane, TraceCategory.IO_EVICT,
+                        reason="post-task")
                     progress = True
                     evicted_any = True
             if evicted_any:

@@ -71,7 +71,8 @@ class NoIOThreadStrategy(Strategy):
         for victim in mgr.eviction.post_task_victims(task, mgr.tracker):
             if victim.in_hbm and not victim.in_use and not victim.pinned:
                 yield from self.evict_block(
-                    victim, lane, TraceCategory.POSTPROCESS_EVICT)
+                    victim, lane, TraceCategory.POSTPROCESS_EVICT,
+                    reason="post-task")
                 evicted = True
         yield from self.maintain_watermarks(
             lane, TraceCategory.POSTPROCESS_EVICT)

@@ -67,7 +67,8 @@ class SingleIOThreadStrategy(Strategy):
         for victim in mgr.eviction.post_task_victims(task, mgr.tracker):
             if victim.in_hbm and not victim.in_use and not victim.pinned:
                 yield from self.evict_block(
-                    victim, f"pe{pe.id}", TraceCategory.POSTPROCESS_EVICT)
+                    victim, f"pe{pe.id}", TraceCategory.POSTPROCESS_EVICT,
+                    reason="post-task")
         assert self.gate is not None
         self.gate.open()
 

@@ -23,6 +23,7 @@ from itertools import count
 
 from repro.errors import AllocationError, CapacityError
 from repro.lint import hooks as _hooks
+from repro.metrics import hooks as _mx
 
 __all__ = ["Allocation", "Allocator", "BumpAllocator", "FreeListAllocator",
            "PagedAllocator", "PoolAllocator"]
@@ -106,6 +107,11 @@ class Allocator:
     def _take(self, nbytes: int) -> None:
         if nbytes > self.available:
             self.failed_allocs += 1
+            if _mx.registry is not None:
+                _mx.registry.counter(
+                    "repro_alloc_failures_total",
+                    "allocations rejected for lack of capacity",
+                    device=self.name).inc()
             raise CapacityError(
                 f"{self.name}: cannot allocate {nbytes}B "
                 f"({self.available}B of {self.capacity}B available)",
@@ -199,6 +205,11 @@ class FreeListAllocator(Allocator):
                     self._free[i] = (off + nbytes, length - nbytes)
                 return Allocation(off, nbytes, self)
         self.failed_allocs += 1
+        if _mx.registry is not None:
+            _mx.registry.counter(
+                "repro_alloc_failures_total",
+                "allocations rejected for lack of capacity",
+                device=self.name).inc()
         raise CapacityError(
             f"{self.name}: no free range of {nbytes}B "
             f"(free total {self.available}B, fragmented)",

@@ -31,6 +31,7 @@ import typing as _t
 
 from repro.errors import BlockStateError, CapacityError
 from repro.lint import hooks as _hooks
+from repro.metrics import hooks as _mx
 from repro.mem.block import DataBlock
 from repro.mem.device import MemoryDevice
 from repro.mem.topology import MemoryTopology
@@ -114,6 +115,9 @@ class DataMover:
         started = self.env.now
         if _hooks.observer is not None:
             _hooks.observer.on_move_start(block, src, dst)
+        if _mx.registry is not None:
+            _mx.registry.gauge("repro_moves_inflight",
+                               "block moves currently in flight").inc()
         block.begin_move()
         src_alloc = block.allocation
 
@@ -127,6 +131,12 @@ class DataMover:
             # range did.  Restore the block (it never left the source) and
             # let the scheduler treat this as "no space".
             block.settle(src, self.topology.state_for(src))
+            if _mx.registry is not None:
+                _mx.registry.gauge("repro_moves_inflight").dec()
+                _mx.registry.counter(
+                    "repro_move_rollbacks_total",
+                    "moves rolled back on fragmented destination",
+                    src=src.name, dst=dst.name).inc()
             raise
         after_alloc = self.env.now
 
@@ -157,6 +167,9 @@ class DataMover:
 
         self.moves_completed += 1
         self.bytes_moved += block.nbytes
+        if _mx.registry is not None:
+            self._note_move(src.name, dst.name, block.nbytes,
+                            self.env.now - started)
         result = MoveResult(
             block=block, src=src.name, dst=dst.name, nbytes=block.nbytes,
             started_at=started, finished_at=self.env.now,
@@ -166,6 +179,20 @@ class DataMover:
         if self.keep_results:
             self.results.append(result)
         return result
+
+    def _note_move(self, src: str, dst: str, nbytes: int,
+                   latency: float) -> None:
+        """Record one completed move with the active metrics registry."""
+        reg = _mx.registry
+        reg.gauge("repro_moves_inflight").dec()
+        reg.counter("repro_moves_total", "completed block moves",
+                    src=src, dst=dst).inc()
+        reg.counter("repro_moved_bytes_total",
+                    "bytes moved per direction", src=src, dst=dst
+                    ).inc(nbytes)
+        reg.histogram("repro_move_latency_seconds",
+                      "end-to-end alloc+copy+free move latency",
+                      src=src, dst=dst).observe(latency)
 
     # -- migrate_pages-style move (modelled alternative) -------------------------
 
@@ -194,6 +221,9 @@ class DataMover:
         started = self.env.now
         if _hooks.observer is not None:
             _hooks.observer.on_move_start(block, src, dst)
+        if _mx.registry is not None:
+            _mx.registry.gauge("repro_moves_inflight",
+                               "block moves currently in flight").inc()
         block.begin_move()
         src_alloc = block.allocation
         try:
@@ -203,6 +233,12 @@ class DataMover:
             # range did.  Restore the block (it never left the source) so
             # it is not stuck MOVING, matching `move`'s rollback.
             block.settle(src, self.topology.state_for(src))
+            if _mx.registry is not None:
+                _mx.registry.gauge("repro_moves_inflight").dec()
+                _mx.registry.counter(
+                    "repro_move_rollbacks_total",
+                    "moves rolled back on fragmented destination",
+                    src=src.name, dst=dst.name).inc()
             raise
 
         # Kernel bookkeeping scales with page count, serial per mover.
@@ -222,6 +258,9 @@ class DataMover:
 
         self.moves_completed += 1
         self.bytes_moved += padded
+        if _mx.registry is not None:
+            self._note_move(src.name, dst.name, padded,
+                            self.env.now - started)
         result = MoveResult(
             block=block, src=src.name, dst=dst.name, nbytes=padded,
             started_at=started, finished_at=self.env.now,

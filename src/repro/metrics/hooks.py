@@ -1,0 +1,45 @@
+"""Metrics hook slot — the only metrics module the hot paths import.
+
+Mirrors :mod:`repro.lint.hooks`: instrumented call sites (the data mover,
+allocators, strategies, the OOC manager) guard every update with::
+
+    from repro.metrics import hooks as _mx
+    ...
+    if _mx.registry is not None:
+        _mx.registry.counter("repro_moves_total").inc()
+
+so the cost with metrics disabled is one module-global load and an
+``is not None`` test — measured in ``benchmarks/bench_metrics.py`` and far
+below the noise floor of the sim core.  This module is dependency-free on
+purpose: importing it must never pull the rest of :mod:`repro.metrics`
+(or anything else) into the hot modules.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = ["registry", "install", "uninstall"]
+
+#: the active :class:`repro.metrics.registry.MetricsRegistry`, or None when
+#: metrics are off — the default
+registry: _t.Any = None
+
+
+def install(reg: _t.Any) -> None:
+    """Make ``reg`` the active registry; only one may be active."""
+    global registry
+    if registry is not None and registry is not reg:
+        raise RuntimeError("a metrics registry is already installed")
+    registry = reg
+
+
+def uninstall(reg: _t.Any = None) -> None:
+    """Remove the active registry (idempotent).
+
+    Passing the registry makes removal safe against double-uninstall races
+    in tests: only the currently-installed registry is removed.
+    """
+    global registry
+    if reg is None or registry is reg:
+        registry = None

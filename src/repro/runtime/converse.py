@@ -53,9 +53,12 @@ def deliver(runtime: "CharmRuntime", pe: PE, message: Message,
     pe.note_busy(elapsed)
     pe.tasks_executed += 1
     chare._measured_load += elapsed
-    runtime.tracer.record(f"pe{pe.id}", TraceCategory.EXECUTE,
-                          started, runtime.env.now,
-                          label=f"{chare.label}.{spec.name}")
+    if runtime.tracer.enabled:
+        # guard here, not in record(): the lane/label f-strings are the
+        # expensive part on the hot path (mirrors the hook-slot discipline)
+        runtime.tracer.record(f"pe{pe.id}", TraceCategory.EXECUTE,
+                              started, runtime.env.now,
+                              label=f"{chare.label}.{spec.name}")
 
     if task is not None and runtime.interceptor is not None:
         post_started = runtime.env.now

@@ -1,23 +1,36 @@
-"""Trace export: JSON (Chrome-trace-like) and CSV."""
+"""Trace export: JSON (Chrome-trace-like) and CSV.
+
+The JSON export optionally merges *counter series* — ``(time, value)``
+points from the metrics flight recorder (see
+:func:`repro.metrics.export.counter_series`) — as Chrome ``"C"`` events,
+so Perfetto renders queue depth and HBM occupancy tracks alongside the
+task intervals.
+"""
 
 from __future__ import annotations
 
 import csv
 import io
 import json
+import typing as _t
 
 from repro.trace.tracer import Tracer
 
 __all__ = ["to_json", "to_csv"]
 
+#: one counter track: series name -> [(time_s, value), ...]
+CounterSeries = _t.Mapping[str, _t.Sequence[tuple[float, float]]]
 
-def to_json(tracer: Tracer, *, indent: int | None = None) -> str:
+
+def to_json(tracer: Tracer, *, indent: int | None = None,
+            counters: CounterSeries | None = None) -> str:
     """Serialise events in a Chrome ``trace_event``-compatible layout.
 
     Each interval becomes a complete ("X") event with microsecond
     timestamps, so the output loads in ``chrome://tracing`` / Perfetto.
+    ``counters`` adds one counter ("C") track per series.
     """
-    records = [
+    records: list[dict[str, _t.Any]] = [
         {
             "name": ev.label or ev.category.value,
             "cat": ev.category.value,
@@ -29,6 +42,17 @@ def to_json(tracer: Tracer, *, indent: int | None = None) -> str:
         }
         for ev in tracer.events
     ]
+    if counters:
+        for name in sorted(counters):
+            for when, value in counters[name]:
+                records.append({
+                    "name": name,
+                    "cat": "metrics",
+                    "ph": "C",
+                    "pid": 0,
+                    "ts": when * 1e6,
+                    "args": {"value": value},
+                })
     return json.dumps({"traceEvents": records}, indent=indent)
 
 

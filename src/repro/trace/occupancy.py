@@ -25,17 +25,19 @@ def occupancy_stats(log: _t.Sequence[tuple[float, int]],
     """
     if not log:
         return {"peak": 0.0, "mean": 0.0, "samples": 0}
-    peak = max(used for _, used in log)
+    # every returned statistic is a *fraction of capacity*, including the
+    # degenerate single-sample / zero-span cases (regression: a one-entry
+    # log must not leak a raw byte count out as the mean)
+    peak = max(used for _, used in log) / capacity
     if len(log) == 1:
-        mean = log[0][1]
+        mean = log[0][1] / capacity
     else:
         area = 0.0
         for (t0, used), (t1, _next) in zip(log, log[1:]):
             area += used * (t1 - t0)
         span = log[-1][0] - log[0][0]
-        mean = area / span if span > 0 else log[-1][1]
-    return {"peak": peak / capacity, "mean": mean / capacity,
-            "samples": len(log)}
+        mean = (area / span if span > 0 else log[-1][1]) / capacity
+    return {"peak": peak, "mean": mean, "samples": len(log)}
 
 
 def render_occupancy(log: _t.Sequence[tuple[float, int]], capacity: int,

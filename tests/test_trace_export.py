@@ -1,0 +1,112 @@
+"""Round-trip coverage for trace/export: Chrome trace_event JSON + CSV.
+
+The Chrome schema is asserted field-by-field after a ``json.loads``
+round-trip, for interval ("X") events and for the metrics counter ("C")
+events merged from the flight recorder — the shapes Perfetto requires.
+"""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.sim.environment import Environment
+from repro.trace.events import TraceCategory
+from repro.trace.export import to_csv, to_json
+from repro.trace.tracer import Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer(Environment())
+    t.record("pe0", TraceCategory.EXECUTE, 0.0, 0.004, "stencil.sweep")
+    t.record("io0", TraceCategory.IO_FETCH, 0.001, 0.003, "fetch b3")
+    t.record("io0", TraceCategory.IO_EVICT, 0.003, 0.0035, "evict b1")
+    return t
+
+
+COUNTERS = {
+    "repro_hbm_used_bytes": [(0.0, 0.0), (0.002, 1024.0), (0.004, 512.0)],
+    "repro_pe_wait_depth": [(0.0, 2.0)],
+}
+
+
+class TestJsonIntervalEvents:
+    def test_round_trip_schema(self, tracer):
+        doc = json.loads(to_json(tracer))
+        events = doc["traceEvents"]
+        assert len(events) == 3
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], str)      # lane name
+            assert isinstance(ev["ts"], float)
+            assert isinstance(ev["dur"], float)
+            assert ev["name"]
+
+    def test_timestamps_in_microseconds(self, tracer):
+        events = json.loads(to_json(tracer))["traceEvents"]
+        fetch = next(e for e in events if e["name"] == "fetch b3")
+        assert fetch["ts"] == pytest.approx(1000.0)
+        assert fetch["dur"] == pytest.approx(2000.0)
+        assert fetch["tid"] == "io0"
+        assert fetch["cat"] == "io_fetch"
+
+    def test_indent_still_parses(self, tracer):
+        assert json.loads(to_json(tracer, indent=2))["traceEvents"]
+
+
+class TestJsonCounterEvents:
+    def test_counter_events_appended(self, tracer):
+        events = json.loads(to_json(tracer, counters=COUNTERS))["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == 4
+        for ev in counters:
+            assert ev["cat"] == "metrics"
+            assert ev["pid"] == 0
+            assert isinstance(ev["ts"], float)
+            assert set(ev["args"]) == {"value"}
+            assert "dur" not in ev
+
+    def test_counter_values_and_times(self, tracer):
+        events = json.loads(to_json(tracer, counters=COUNTERS))["traceEvents"]
+        hbm = [e for e in events if e["ph"] == "C"
+               and e["name"] == "repro_hbm_used_bytes"]
+        assert [e["ts"] for e in hbm] == [0.0, 2000.0, 4000.0]
+        assert [e["args"]["value"] for e in hbm] == [0.0, 1024.0, 512.0]
+
+    def test_counter_tracks_sorted_by_name(self, tracer):
+        events = json.loads(to_json(tracer, counters=COUNTERS))["traceEvents"]
+        names = [e["name"] for e in events if e["ph"] == "C"]
+        assert names == sorted(names)
+
+    def test_counters_on_empty_tracer(self):
+        t = Tracer(Environment())
+        events = json.loads(to_json(t, counters=COUNTERS))["traceEvents"]
+        assert all(e["ph"] == "C" for e in events)
+
+    def test_no_counters_no_counter_events(self, tracer):
+        events = json.loads(to_json(tracer, counters={}))["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+
+
+class TestCsv:
+    def test_header_and_row_shape(self, tracer):
+        rows = list(csv.DictReader(io.StringIO(to_csv(tracer))))
+        assert len(rows) == 3
+        assert set(rows[0]) == {"lane", "category", "start_s", "end_s",
+                                "duration_s", "label"}
+
+    def test_values_round_trip(self, tracer):
+        rows = list(csv.DictReader(io.StringIO(to_csv(tracer))))
+        evict = next(r for r in rows if r["label"] == "evict b1")
+        assert evict["lane"] == "io0"
+        assert evict["category"] == "io_evict"
+        assert float(evict["start_s"]) == pytest.approx(0.003)
+        assert float(evict["duration_s"]) == pytest.approx(0.0005)
+
+    def test_empty_tracer_has_header_only(self):
+        text = to_csv(Tracer(Environment()))
+        assert text.splitlines()[0].startswith("lane,")
+        assert len(text.splitlines()) == 1

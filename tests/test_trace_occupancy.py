@@ -17,6 +17,23 @@ class TestOccupancyStats:
         assert stats["peak"] == 0.5
         assert stats["mean"] == 0.5
 
+    def test_single_sample_mean_is_a_fraction(self):
+        # regression: the one-entry path must normalise by capacity —
+        # a raw byte count (here 512 MiB) would leak out as mean > 1
+        capacity = 1 << 30
+        stats = occupancy_stats([(3.5, 512 * 1024 * 1024)], capacity)
+        assert stats["mean"] == pytest.approx(0.5)
+        assert stats["peak"] == pytest.approx(0.5)
+        assert 0.0 <= stats["mean"] <= 1.0
+
+    def test_zero_span_multi_sample_mean_is_a_fraction(self):
+        # two samples at the same instant: the span is zero, so the mean
+        # falls back to the last sample's occupancy — still a fraction
+        stats = occupancy_stats([(1.0, 25), (1.0, 75)], 100)
+        assert stats["mean"] == pytest.approx(0.75)
+        assert stats["peak"] == pytest.approx(0.75)
+        assert stats["samples"] == 2
+
     def test_time_weighted_mean(self):
         # 100% for 1s, then 0% for 9s -> mean 10%
         log = [(0.0, 100), (1.0, 0), (10.0, 0)]
