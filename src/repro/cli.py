@@ -20,6 +20,15 @@ Commands
     prom|json|report``); ``--watch`` narrates snapshot deltas live.
     ``stencil``/``matmul`` also accept ``--metrics`` to append the same
     output to a normal run.
+``race``
+    The :mod:`repro.race` concurrency checkers: ``--static`` model-checks
+    the placement-state protocol (rules ``REP2xx``) over the strategies
+    and mover (or explicit targets); the dynamic mode runs one app under
+    the happens-before race detector, exploring ``--explore-schedules N``
+    seeded event orderings and minimizing the first failure to a
+    ``(--seed, --limit)`` replay token.  ``stencil``/``matmul`` accept
+    the same ``--race`` / ``--explore-schedules`` / ``--seed`` /
+    ``--limit`` flags on a normal run.
 
 Examples::
 
@@ -30,6 +39,9 @@ Examples::
     python -m repro stencil --sanitize --total 512MiB --block 8MiB
     python -m repro stencil --metrics --format report
     python -m repro metrics --app stencil --watch --format prom
+    python -m repro race --static
+    python -m repro race --app stencil --explore-schedules 8
+    python -m repro stencil --race --total 256MiB --block 16MiB
 """
 
 from __future__ import annotations
@@ -83,6 +95,21 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         metavar="SIMSECONDS",
                         help="flight-recorder snapshot cadence in "
                              "simulated seconds (default 0.02)")
+    parser.add_argument("--race", action="store_true",
+                        help="run under the repro.race happens-before "
+                             "detector (racesan); non-zero exit on races")
+    parser.add_argument("--explore-schedules", type=int, default=0,
+                        metavar="N",
+                        help="re-run across N seeded event-order "
+                             "permutations under racesan+simsan and "
+                             "minimize the first failure")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="schedule seed: base seed with "
+                             "--explore-schedules, else replay one "
+                             "permuted schedule")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="decision limit of a minimized replay token "
+                             "(with --seed)")
 
 
 def _build(args: argparse.Namespace) -> _t.Any:
@@ -112,6 +139,63 @@ def _finish_sanitizer(sanitizer: _t.Any, manager: _t.Any = None) -> int:
     finally:
         sanitizer.uninstall()
     return 1 if sanitizer.violations else 0
+
+
+def _start_racesan(args: argparse.Namespace, built: _t.Any) -> _t.Any:
+    """Install the happens-before detector when ``--race`` was given."""
+    if not getattr(args, "race", False):
+        return None
+    from repro.race import RaceSanitizer
+    return RaceSanitizer().install(built.env)
+
+
+def _finish_racesan(racesan: _t.Any) -> int:
+    """Report and uninstall racesan; returns the exit code."""
+    if racesan is None:
+        return 0
+    try:
+        print(racesan.render_report())
+    finally:
+        racesan.uninstall()
+    return 1 if racesan.findings else 0
+
+
+def _app_runner(args: argparse.Namespace, app: str) -> _t.Any:
+    """Build an explorer runner from the CLI's app/machine arguments."""
+    from repro.race import matmul_runner, stencil_runner
+
+    machine = dict(strategy=args.strategy, cores=args.cores,
+                   mcdram=parse_size(args.mcdram), ddr=parse_size(args.ddr))
+    if app == "stencil":
+        return stencil_runner(total=parse_size(args.total),
+                              block=parse_size(args.block),
+                              iterations=args.iterations, **machine)
+    return matmul_runner(working_set=parse_size(args.working_set),
+                         block_dim=args.block_dim, **machine)
+
+
+def _explore_or_replay(args: argparse.Namespace, app: str) -> int | None:
+    """Handle ``--explore-schedules`` / ``--seed`` schedule modes.
+
+    Returns an exit code when one of the modes ran, None for a normal run.
+    """
+    schedules = getattr(args, "explore_schedules", 0)
+    seed = getattr(args, "seed", None)
+    if not schedules and seed is None:
+        return None
+    from repro.race import explore, run_schedule
+
+    runner = _app_runner(args, app)
+    if schedules:
+        report = explore(runner, schedules=schedules,
+                         base_seed=seed if seed is not None else 0)
+        print(report.render())
+        return 1 if report.failing else 0
+    outcome = run_schedule(runner, seed, limit=getattr(args, "limit", None))
+    print(outcome.render())
+    for item in outcome.race_findings + outcome.san_violations:
+        print(item.render())
+    return 1 if outcome.failed else 0
 
 
 def _start_metrics(args: argparse.Namespace, built: _t.Any,
@@ -179,10 +263,14 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_stencil(args: argparse.Namespace) -> int:
+    code = _explore_or_replay(args, "stencil")
+    if code is not None:
+        return code
     sanitizer = _start_sanitizer(args)
     built = _build(args)
     if sanitizer is not None:
         sanitizer.bind(built.manager)
+    racesan = _start_racesan(args, built)
     metrics = _start_metrics(args, built, "stencil")
     cfg = StencilConfig(total_bytes=parse_size(args.total),
                         block_bytes=parse_size(args.block),
@@ -202,14 +290,19 @@ def _cmd_stencil(args: argparse.Namespace) -> int:
     print(render_occupancy(built.manager.occupancy_log,
                            built.machine.hbm.capacity, width=60))
     _finish_metrics(metrics, args, "stencil")
-    return _finish_sanitizer(sanitizer, built.manager)
+    race_code = _finish_racesan(racesan)
+    return max(race_code, _finish_sanitizer(sanitizer, built.manager))
 
 
 def _cmd_matmul(args: argparse.Namespace) -> int:
+    code = _explore_or_replay(args, "matmul")
+    if code is not None:
+        return code
     sanitizer = _start_sanitizer(args)
     built = _build(args)
     if sanitizer is not None:
         sanitizer.bind(built.manager)
+    racesan = _start_racesan(args, built)
     metrics = _start_metrics(args, built, "matmul")
     cfg = MatMulConfig.for_working_set(parse_size(args.working_set),
                                        block_dim=args.block_dim)
@@ -223,7 +316,8 @@ def _cmd_matmul(args: argparse.Namespace) -> int:
     for key, value in built.manager.summary().items():
         print(f"{key:16s}: {value}")
     _finish_metrics(metrics, args, "matmul")
-    return _finish_sanitizer(sanitizer, built.manager)
+    race_code = _finish_racesan(racesan)
+    return max(race_code, _finish_sanitizer(sanitizer, built.manager))
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -274,10 +368,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except FileNotFoundError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
+    except (OSError, UnicodeDecodeError, ImportError) as exc:
+        # internal/environment failure, not a lint verdict: exit 2 so
+        # callers can tell "findings" (1) from "the run itself broke"
+        print(f"lint: internal error: {exc}", file=sys.stderr)
+        return 2
     for finding in report:
         print(finding.render())
     print(f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)")
     return 0 if report.ok(strict=args.strict) else 1
+
+
+def _cmd_race(args: argparse.Namespace) -> int:
+    if args.static or args.targets:
+        from repro.race import check_paths, default_targets
+
+        targets = args.targets or default_targets()
+        try:
+            report = check_paths(targets)
+        except FileNotFoundError as exc:
+            print(f"race: {exc}", file=sys.stderr)
+            return 2
+        except (OSError, UnicodeDecodeError) as exc:
+            print(f"race: internal error: {exc}", file=sys.stderr)
+            return 2
+        for finding in report:
+            print(finding.render())
+        print(f"{len(report.errors)} error(s), "
+              f"{len(report.warnings)} warning(s)")
+        return 0 if report.ok(strict=True) else 1
+    code = _explore_or_replay(args, args.app)
+    if code is not None:
+        return code
+    # no schedules asked for: one FIFO run under racesan+simsan
+    from repro.race import run_schedule
+
+    outcome = run_schedule(_app_runner(args, args.app))
+    print(outcome.render())
+    for item in outcome.race_findings + outcome.san_violations:
+        print(item.render())
+    return 1 if outcome.failed else 0
 
 
 def main(argv: _t.Sequence[str] | None = None) -> int:
@@ -345,6 +475,41 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     p_lint.add_argument("--rules", action="store_true",
                         help="print the rule catalog and exit")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_race = sub.add_parser(
+        "race", help="race detector / placement model checker / "
+                     "schedule explorer")
+    p_race.add_argument("targets", nargs="*", metavar="TARGET",
+                        help="files or directories to model-check "
+                             "statically (default: the shipped strategies "
+                             "and mover; implies --static)")
+    p_race.add_argument("--static", action="store_true",
+                        help="model-check the placement-state protocol "
+                             "(REP2xx) instead of running an app")
+    p_race.add_argument("--app", default="stencil",
+                        choices=["stencil", "matmul"])
+    p_race.add_argument("--strategy", default="multi-io",
+                        choices=sorted(STRATEGIES))
+    p_race.add_argument("--cores", type=int, default=8)
+    p_race.add_argument("--mcdram", default="128MiB")
+    p_race.add_argument("--ddr", default="1GiB")
+    p_race.add_argument("--explore-schedules", type=int, default=0,
+                        metavar="N",
+                        help="number of seeded schedule permutations "
+                             "(0 = one FIFO run under racesan)")
+    p_race.add_argument("--seed", type=int, default=None,
+                        help="base seed (with --explore-schedules) or "
+                             "single-schedule replay seed")
+    p_race.add_argument("--limit", type=int, default=None,
+                        help="decision limit of a minimized replay token")
+    # stencil shape
+    p_race.add_argument("--total", default="256MiB")
+    p_race.add_argument("--block", default="16MiB")
+    p_race.add_argument("--iterations", type=int, default=1)
+    # matmul shape
+    p_race.add_argument("--working-set", default="128MiB")
+    p_race.add_argument("--block-dim", type=int, default=64)
+    p_race.set_defaults(func=_cmd_race)
 
     args = parser.parse_args(argv)
     return args.func(args)

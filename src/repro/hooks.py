@@ -1,0 +1,110 @@
+"""Shared hook-slot machinery for the opt-in observer subsystems.
+
+Three subsystems watch the runtime through module-global hook slots:
+:mod:`repro.lint.hooks` (the "simsan" invariant sanitizer and the
+"racesan" happens-before detector share this slot), :mod:`repro.metrics.hooks`
+(the telemetry registry) and :mod:`repro.race.hooks` (sim-core causality
+tracking).  Each slot module stays dependency-free so hot paths can import
+it without pulling in the subsystem, and every call site keeps the
+disabled-cost discipline::
+
+    from repro.lint import hooks as _hooks
+    ...
+    if _hooks.observer is not None:
+        _hooks.observer.on_retain(self)
+
+:class:`HookSlot` centralises the install/uninstall bookkeeping behind
+those globals.  With zero observers the slot publishes ``None`` (the
+``is not None`` fast path short-circuits); with exactly one it publishes
+the observer itself (no dispatch indirection — the common case costs the
+same as before slots were shareable); with several it publishes a
+:class:`FanOut` that forwards each hook method to every observer that
+implements it.  This is what lets simsan, racesan and metrics be active
+in one run without knowing about each other.
+"""
+
+from __future__ import annotations
+
+import sys
+import typing as _t
+
+__all__ = ["FanOut", "HookSlot"]
+
+
+class FanOut:
+    """Forwards hook calls to several observers, skipping absent methods.
+
+    Dispatchers are built once per method name on first use and memoised
+    in the instance ``__dict__``, so repeated calls bypass ``__getattr__``.
+    Return values are dropped — fan-out is only valid for notification
+    slots, never for value slots like the metrics registry.
+    """
+
+    def __init__(self, observers: _t.Iterable[_t.Any]):
+        self.observers = tuple(observers)
+
+    def __getattr__(self, name: str) -> _t.Callable[..., None]:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        targets = tuple(
+            method for method in
+            (getattr(obs, name, None) for obs in self.observers)
+            if callable(method))
+
+        def dispatch(*args: _t.Any, **kwargs: _t.Any) -> None:
+            for target in targets:
+                target(*args, **kwargs)
+
+        dispatch.__name__ = name
+        self.__dict__[name] = dispatch
+        return dispatch
+
+    def __repr__(self) -> str:
+        names = ", ".join(type(o).__name__ for o in self.observers)
+        return f"<FanOut [{names}]>"
+
+
+class HookSlot:
+    """Manages one module-global observer slot.
+
+    The slot *publishes* its current value into ``sys.modules[module]``
+    under ``attr`` so hook call sites keep reading a plain module global:
+    ``None`` (empty), the sole observer (single), or a :class:`FanOut`
+    (multiple).  ``exclusive=True`` restores the old single-occupant
+    semantics for slots whose call sites consume return values (the
+    metrics registry) — fanning those out would silently break them.
+    """
+
+    def __init__(self, module: str, attr: str, *,
+                 exclusive: bool = False, kind: str = "observer"):
+        self.module = module
+        self.attr = attr
+        self.exclusive = exclusive
+        self.kind = kind
+        self.observers: list[_t.Any] = []
+
+    def _publish(self) -> None:
+        count = len(self.observers)
+        value = (None if count == 0
+                 else self.observers[0] if count == 1
+                 else FanOut(self.observers))
+        setattr(sys.modules[self.module], self.attr, value)
+
+    def install(self, obs: _t.Any) -> None:
+        """Add ``obs`` to the slot (idempotent for the same object)."""
+        if obs is None:
+            raise RuntimeError(f"cannot install None as a {self.kind}")
+        if any(existing is obs for existing in self.observers):
+            return
+        if self.exclusive and self.observers:
+            raise RuntimeError(f"a {self.kind} is already installed")
+        self.observers.append(obs)
+        self._publish()
+
+    def uninstall(self, obs: _t.Any = None) -> None:
+        """Remove ``obs`` (idempotent); with ``None``, clear the slot."""
+        if obs is None:
+            self.observers.clear()
+        else:
+            self.observers = [o for o in self.observers if o is not obs]
+        self._publish()

@@ -1,4 +1,4 @@
-"""Sanitizer hook registry — the only lint module the hot paths import.
+"""Sanitizer hook slot — the only lint module the hot paths import.
 
 Instrumented call sites (block transitions, refcounts, allocator
 bookkeeping, mover steps, kernel access) guard every hook with::
@@ -10,36 +10,43 @@ bookkeeping, mover steps, kernel access) guard every hook with::
 
 so the cost with no sanitizer installed is one module-global load and an
 ``is not None`` test — measured in the sanitizer-overhead bench and far
-below the noise floor of the sim core.  This module is dependency-free on
-purpose: importing it must never pull the rest of :mod:`repro.lint` (or
-anything else) into the hot modules.
+below the noise floor of the sim core.  The slot is *shared*: the simsan
+invariant sanitizer and the racesan happens-before detector both observe
+these hooks and may be installed at the same time, in which case
+``observer`` is a :class:`repro.hooks.FanOut` that forwards each hook to
+every installed observer.  With a single observer the slot publishes the
+observer itself, so the common case pays no dispatch indirection.
+
+This module stays dependency-light on purpose: it imports only
+:mod:`repro.hooks` (itself dependency-free), never the rest of
+:mod:`repro.lint`, so importing it from hot modules is cheap.
 """
 
 from __future__ import annotations
 
 import typing as _t
 
+from repro.hooks import HookSlot
+
 __all__ = ["observer", "install", "uninstall"]
 
-#: the active observer (a :class:`repro.lint.sanitizer.SimSanitizer`), or
-#: None when sanitizing is off — the default
+#: the active observer — a :class:`repro.lint.sanitizer.SimSanitizer`, a
+#: :class:`repro.race.detector.RaceSanitizer`, or a fan-out over several —
+#: or None when no sanitizer is installed (the default)
 observer: _t.Any = None
+
+_slot = HookSlot(__name__, "observer", kind="sanitizer observer")
 
 
 def install(obs: _t.Any) -> None:
-    """Make ``obs`` the active observer; only one may be active."""
-    global observer
-    if observer is not None and observer is not obs:
-        raise RuntimeError("a sanitizer observer is already installed")
-    observer = obs
+    """Add ``obs`` to the sanitizer slot (idempotent per observer)."""
+    _slot.install(obs)
 
 
 def uninstall(obs: _t.Any = None) -> None:
-    """Remove the active observer (idempotent).
+    """Remove ``obs`` from the slot; with ``None``, remove every observer.
 
     Passing the observer makes removal safe against double-uninstall races
-    in tests: only the currently-installed observer is removed.
+    in tests: other observers sharing the slot stay installed.
     """
-    global observer
-    if obs is None or observer is obs:
-        observer = None
+    _slot.uninstall(obs)

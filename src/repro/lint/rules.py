@@ -1,8 +1,11 @@
-"""Rule catalog for :mod:`repro.lint`.
+"""Rule catalog for :mod:`repro.lint` and :mod:`repro.race`.
 
 ``REP1xx`` rules are emitted by the static dependence-declaration checker
-(:mod:`repro.lint.static_checker`); ``SAN2xx`` rules by the runtime
-invariant sanitizer (:mod:`repro.lint.sanitizer`).  The catalog is data,
+(:mod:`repro.lint.static_checker`); ``REP2xx`` by the placement-state
+model checker (:mod:`repro.race.model_checker`, run as part of the same
+static pass); ``SAN2xx`` by the runtime invariant sanitizer
+(:mod:`repro.lint.sanitizer`); ``RACE3xx`` by the happens-before race
+detector and schedule explorer (:mod:`repro.race`).  The catalog is data,
 not behaviour, so docs and the CLI ``--explain`` output cannot drift from
 the implementation.
 """
@@ -13,7 +16,8 @@ import dataclasses
 
 from repro.lint.findings import Severity
 
-__all__ = ["Rule", "RULES", "rule", "STATIC_RULES", "SANITIZER_RULES"]
+__all__ = ["Rule", "RULES", "rule", "STATIC_RULES", "SANITIZER_RULES",
+           "RACE_RULES"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,11 +87,47 @@ _ALL = [
     Rule("SAN207", Severity.ERROR, "refcount-underflow",
          "release() on a block whose refcount is already zero — a task "
          "released dependences it never retained"),
+    # -- placement-state model checker (repro.race.model_checker) ------------
+    Rule("REP200", Severity.ERROR, "raw-state-assignment",
+         "a BlockState is assigned directly to .state outside DataBlock — "
+         "placement must go through begin_move()/settle() so the "
+         "INDDR→MOVING→INHBM protocol (and its sanitizer hooks) stays "
+         "intact"),
+    Rule("REP201", Severity.ERROR, "settle-to-moving",
+         "settle(..., BlockState.MOVING) — settle() must bind a concrete "
+         "placement; the transient MOVING state is entered only via "
+         "begin_move()"),
+    Rule("REP202", Severity.ERROR, "unguarded-eviction",
+         "an eviction call whose victim is not guarded by an "
+         "in_use/pinned check on any enclosing path — a block can be "
+         "freed out from under a running kernel"),
+    Rule("REP203", Severity.ERROR, "unsettled-move-exit",
+         "a code path after begin_move() can leave the function without a "
+         "settle() — the block would be stuck MOVING forever (the PR 1 "
+         "bug class, now caught before runtime)"),
+    Rule("REP204", Severity.ERROR, "move-outside-inflight",
+         "a strategy calls the mover without begin_inflight() — "
+         "concurrent fetchers cannot join the move and will double-move "
+         "the block"),
+    Rule("REP205", Severity.ERROR, "unchecked-fetch-result",
+         "the result of fetch_task_blocks() is discarded — the task may "
+         "be made ready with non-resident dependences"),
+    # -- happens-before race detector + schedule explorer ("racesan") --------
+    Rule("RACE301", Severity.ERROR, "data-race",
+         "two conflicting accesses to one block with no happens-before "
+         "path between them — a legal schedule exists where they overlap"),
+    Rule("RACE302", Severity.ERROR, "writeonly-read",
+         "a kernel reads a block its task declared writeonly — the "
+         "declared intent the runtime schedules by is false"),
+    Rule("RACE303", Severity.ERROR, "schedule-deadlock",
+         "a permuted schedule deadlocked or left non-empty wait queues "
+         "with no runnable task — progress depends on event-tie ordering"),
 ]
 
 RULES: dict[str, Rule] = {r.id: r for r in _ALL}
 STATIC_RULES: dict[str, Rule] = {r.id: r for r in _ALL if r.id.startswith("REP")}
 SANITIZER_RULES: dict[str, Rule] = {r.id: r for r in _ALL if r.id.startswith("SAN")}
+RACE_RULES: dict[str, Rule] = {r.id: r for r in _ALL if r.id.startswith("RACE")}
 
 
 def rule(rule_id: str) -> Rule:

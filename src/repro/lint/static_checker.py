@@ -342,7 +342,12 @@ def _check_entry_body(cls: ast.ClassDef, method: ast.FunctionDef,
 
 
 def check_source(source: str, filename: str = "<string>") -> list[Finding]:
-    """Lint one source text; returns findings (empty on clean)."""
+    """Lint one source text; returns findings (empty on clean).
+
+    Runs both the declaration cross-check (``REP1xx``) and the
+    placement-state model checker (``REP2xx``,
+    :mod:`repro.race.model_checker`) over the same parse.
+    """
     try:
         tree = ast.parse(source, filename=filename)
     except SyntaxError as exc:
@@ -351,6 +356,10 @@ def check_source(source: str, filename: str = "<string>") -> list[Finding]:
     findings: list[Finding] = []
     for cls in _chare_classes(tree):
         findings.extend(_check_class(cls, filename))
+    # lazy: repro.race.model_checker imports this module for
+    # iter_python_files, so a top-level import here would be a cycle
+    from repro.race.model_checker import check_tree as _model_check_tree
+    findings.extend(_model_check_tree(tree, filename))
     findings.sort(key=lambda f: (f.file, f.line, f.rule))
     return findings
 

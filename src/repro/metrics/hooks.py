@@ -10,14 +10,22 @@ allocators, strategies, the OOC manager) guard every update with::
 
 so the cost with metrics disabled is one module-global load and an
 ``is not None`` test — measured in ``benchmarks/bench_metrics.py`` and far
-below the noise floor of the sim core.  This module is dependency-free on
-purpose: importing it must never pull the rest of :mod:`repro.metrics`
-(or anything else) into the hot modules.
+below the noise floor of the sim core.  Unlike the sanitizer slot this one
+is *exclusive*: call sites consume return values (``registry.counter(...)``
+hands back an instrument), which cannot fan out to several registries, so
+only one registry may be installed at a time.  It coexists freely with the
+sanitizer/race slots, which are separate module globals.
+
+This module stays dependency-light on purpose: it imports only
+:mod:`repro.hooks` (itself dependency-free), never the rest of
+:mod:`repro.metrics`, so importing it from hot modules is cheap.
 """
 
 from __future__ import annotations
 
 import typing as _t
+
+from repro.hooks import HookSlot
 
 __all__ = ["registry", "install", "uninstall"]
 
@@ -25,13 +33,12 @@ __all__ = ["registry", "install", "uninstall"]
 #: metrics are off — the default
 registry: _t.Any = None
 
+_slot = HookSlot(__name__, "registry", exclusive=True, kind="metrics registry")
+
 
 def install(reg: _t.Any) -> None:
     """Make ``reg`` the active registry; only one may be active."""
-    global registry
-    if registry is not None and registry is not reg:
-        raise RuntimeError("a metrics registry is already installed")
-    registry = reg
+    _slot.install(reg)
 
 
 def uninstall(reg: _t.Any = None) -> None:
@@ -40,6 +47,4 @@ def uninstall(reg: _t.Any = None) -> None:
     Passing the registry makes removal safe against double-uninstall races
     in tests: only the currently-installed registry is removed.
     """
-    global registry
-    if reg is None or registry is reg:
-        registry = None
+    _slot.uninstall(reg)

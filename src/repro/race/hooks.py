@@ -1,0 +1,45 @@
+"""Race-tracker hook slot — the only race module the sim core imports.
+
+The sim core (environment, process, resources) and the runtime layer
+(PE wait queues, converse delivery) publish causality events — event
+scheduled/processed/cancelled, process resumed, buffered queue handoffs,
+message delivery — through this slot so the happens-before detector can
+build its vector clocks.  Call sites guard every hook with::
+
+    from repro.race import hooks as _rh
+    ...
+    if _rh.tracker is not None:
+        _rh.tracker.on_scheduled(event)
+
+so the cost with no tracker installed is one module-global load and an
+``is not None`` test — measured in ``benchmarks/bench_race.py`` and far
+below the noise floor of the sim core.  This module stays dependency-light
+on purpose: it imports only :mod:`repro.hooks` (itself dependency-free),
+never the rest of :mod:`repro.race`, so the sim core never pays for the
+detector it is not using.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.hooks import HookSlot
+
+__all__ = ["tracker", "install", "uninstall"]
+
+#: the active causality tracker (a
+#: :class:`repro.race.detector.RaceSanitizer`), or None when race
+#: detection is off — the default
+tracker: _t.Any = None
+
+_slot = HookSlot(__name__, "tracker", kind="race tracker")
+
+
+def install(obs: _t.Any) -> None:
+    """Add ``obs`` to the tracker slot (idempotent per observer)."""
+    _slot.install(obs)
+
+
+def uninstall(obs: _t.Any = None) -> None:
+    """Remove ``obs`` from the slot; with ``None``, remove every tracker."""
+    _slot.uninstall(obs)

@@ -1,0 +1,352 @@
+"""Static placement-state model checker (rules ``REP2xx``).
+
+An AST pass over the placement-protocol classes — anything in the
+transitive subclass closure of ``Strategy`` or ``DataMover`` (including
+those roots themselves) — verifying that every code path respects the
+legal ``INDDR → MOVING → INHBM`` (and reverse) transitions of
+:class:`repro.mem.block.DataBlock`:
+
+* **REP200** — ``x.state = BlockState.Y`` assignments: placement may only
+  change through ``begin_move()``/``settle()``, never by raw assignment;
+* **REP201** — ``settle(..., BlockState.MOVING)``: the transient state is
+  entered only via ``begin_move()``;
+* **REP202** — eviction (an ``evict_block(...)`` call, or a mover move
+  whose destination mentions DDR) whose victim is not dominated by an
+  ``in_use``/``pinned`` guard — either an enclosing ``if`` test or an
+  earlier guard-clause ``if victim.in_use ...: raise`` in the same
+  function;
+* **REP203** — an exit path (``return``/``raise``, or function
+  fall-through) after ``begin_move()`` with no ``settle()`` before it:
+  the block would be stuck ``MOVING`` forever;
+* **REP204** — a strategy method that calls the mover directly without
+  ``begin_inflight()``: concurrent fetchers cannot join the move;
+* **REP205** — a discarded ``fetch_task_blocks()`` result: the fetch may
+  have failed, and making the task ready anyway runs it on non-resident
+  blocks.
+
+The dataflow is deliberately approximate (sibling order stands in for
+dominance), tuned so the shipped strategies and mover check clean while
+each seeded defect in ``tests/fixtures/racy_strategy.py`` is caught.
+The pass runs automatically as part of :func:`repro.lint.check_source`,
+and standalone via ``repro race --static``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import typing as _t
+
+from repro.lint.findings import Finding, LintReport
+from repro.lint.rules import STATIC_RULES
+from repro.lint.static_checker import iter_python_files
+
+__all__ = ["check_tree", "check_source", "check_file", "check_paths",
+           "default_targets"]
+
+#: class names whose (transitive) subclasses own the placement protocol
+MODEL_ROOTS = {"Strategy", "DataMover", "Mover"}
+
+#: block attributes whose test in a guard protects an eviction victim
+_GUARD_ATTRS = {"in_use", "pinned"}
+
+#: statements that end a guard clause (make the guard a real gate)
+_FLOW_BREAKS = (ast.Raise, ast.Return, ast.Continue, ast.Break)
+
+
+def _finding(rule_id: str, message: str, file: str, line: int, *,
+             chare: str = "", entry: str = "") -> Finding:
+    spec = STATIC_RULES[rule_id]
+    return Finding(rule=rule_id, severity=spec.severity, message=message,
+                   file=file, line=line, chare=chare, entry=entry)
+
+
+# -- scope discovery -----------------------------------------------------------
+
+
+def _protocol_like(name: str | None, like: set[str]) -> bool:
+    """A base opts its subclass in: an exact root/known name, or any
+    cross-module subclass of a ``*Strategy``/``*Mover`` class (the closure
+    is per-file, so ``RacyIOStrategy(SingleIOThreadStrategy)`` in a fixture
+    must scope in without seeing ``single_io.py``)."""
+    return name is not None and (name in like
+                                 or name.endswith(("Strategy", "Mover")))
+
+
+def _protocol_classes(tree: ast.Module) -> list[ast.ClassDef]:
+    """Classes in the subclass closure of the protocol roots, roots included."""
+    classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+    like = set(MODEL_ROOTS)
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in like:
+                continue
+            for base in cls.bases:
+                name = base.id if isinstance(base, ast.Name) else (
+                    base.attr if isinstance(base, ast.Attribute) else None)
+                if _protocol_like(name, like):
+                    like.add(cls.name)
+                    changed = True
+                    break
+    return [c for c in classes if c.name in like]
+
+
+def _walk_shallow(func: ast.AST) -> _t.Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _parents(root: ast.AST) -> dict[ast.AST, ast.AST]:
+    out: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            out[child] = node
+    return out
+
+
+# -- small matchers ------------------------------------------------------------
+
+
+def _is_blockstate(node: ast.expr, member: str | None = None) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "BlockState"
+            and (member is None or node.attr == member))
+
+
+def _attr_call(node: ast.AST, attr: str) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == attr)
+
+
+def _mover_call(node: ast.AST) -> bool:
+    """``<expr>.mover.move(...)`` / ``.move_migrate_pages(...)``."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("move", "move_migrate_pages")
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr == "mover")
+
+
+def _mentions_ddr(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and "ddr" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.Name) and "ddr" in sub.id.lower():
+            return True
+    return False
+
+
+def _mentions_guard(test: ast.expr, name: str) -> bool:
+    for sub in ast.walk(test):
+        if (isinstance(sub, ast.Attribute) and sub.attr in _GUARD_ATTRS
+                and isinstance(sub.value, ast.Name) and sub.value.id == name):
+            return True
+    return False
+
+
+# -- per-rule passes -----------------------------------------------------------
+
+
+def _check_state_assigns(cls: ast.ClassDef, file: str) -> list[Finding]:
+    findings = []
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Attribute) and t.attr == "state"
+                   for t in node.targets):
+            continue
+        if _is_blockstate(node.value):
+            findings.append(_finding(
+                "REP200",
+                f"raw placement assignment .state = "
+                f"BlockState.{node.value.attr}; use begin_move()/settle()",
+                file, node.lineno, chare=cls.name))
+    return findings
+
+
+def _check_settle_literals(cls: ast.ClassDef, file: str) -> list[Finding]:
+    findings = []
+    for node in ast.walk(cls):
+        if not _attr_call(node, "settle"):
+            continue
+        operands = list(node.args) + [kw.value for kw in node.keywords]
+        if any(_is_blockstate(arg, "MOVING") for arg in operands):
+            findings.append(_finding(
+                "REP201",
+                "settle(..., BlockState.MOVING): settle() must bind a "
+                "concrete placement state", file, node.lineno,
+                chare=cls.name))
+    return findings
+
+
+def _check_evictions(cls: ast.ClassDef, method: ast.FunctionDef,
+                     file: str) -> list[Finding]:
+    findings: list[Finding] = []
+    parents = _parents(method)
+    # guard clauses: `if victim.in_use ...: raise/return/...` earlier in
+    # the method dominate everything after them (sibling-order approx.)
+    guard_clauses: list[tuple[str, int]] = []
+    for node in ast.walk(method):
+        if not isinstance(node, ast.If):
+            continue
+        breaks = any(isinstance(sub, _FLOW_BREAKS)
+                     for stmt in node.body for sub in ast.walk(stmt))
+        if not breaks:
+            continue
+        for name_node in ast.walk(node.test):
+            if isinstance(name_node, ast.Name) \
+                    and _mentions_guard(node.test, name_node.id):
+                guard_clauses.append((name_node.id, node.lineno))
+    for node in ast.walk(method):
+        victim: ast.expr | None = None
+        if _attr_call(node, "evict_block") and node.args:
+            victim = node.args[0]
+        elif _mover_call(node) and len(node.args) >= 2 \
+                and _mentions_ddr(node.args[1]):
+            victim = node.args[0]
+        if not isinstance(victim, ast.Name):
+            continue
+        name = victim.id
+        guarded = any(g_name == name and g_line < node.lineno
+                      for g_name, g_line in guard_clauses)
+        ancestor = parents.get(node)
+        while not guarded and ancestor is not None:
+            if isinstance(ancestor, (ast.If, ast.While)) \
+                    and _mentions_guard(ancestor.test, name):
+                guarded = True
+            ancestor = parents.get(ancestor)
+        if not guarded:
+            findings.append(_finding(
+                "REP202",
+                f"eviction of {name!r} with no in_use/pinned guard on "
+                f"this path", file, node.lineno,
+                chare=cls.name, entry=method.name))
+    return findings
+
+
+def _check_move_exits(cls: ast.ClassDef, method: ast.FunctionDef,
+                      file: str) -> list[Finding]:
+    nodes = list(_walk_shallow(method))
+    begins = [n.lineno for n in nodes if _attr_call(n, "begin_move")]
+    if not begins:
+        return []
+    begin_line = min(begins)
+    settles = sorted(n.lineno for n in nodes if _attr_call(n, "settle")
+                     if n.lineno > begin_line)
+    findings: list[Finding] = []
+    if not settles:
+        findings.append(_finding(
+            "REP203",
+            "begin_move() with no settle() anywhere after it — every "
+            "exit leaves the block stuck MOVING", file, begin_line,
+            chare=cls.name, entry=method.name))
+        return findings
+    for node in nodes:
+        if not isinstance(node, (ast.Return, ast.Raise)):
+            continue
+        if node.lineno <= begin_line:
+            continue
+        if not any(s <= node.lineno for s in settles):
+            kind = "return" if isinstance(node, ast.Return) else "raise"
+            findings.append(_finding(
+                "REP203",
+                f"{kind} after begin_move() with no settle() before it "
+                f"on this path", file, node.lineno,
+                chare=cls.name, entry=method.name))
+    return findings
+
+
+def _check_inflight(cls: ast.ClassDef, method: ast.FunctionDef,
+                    file: str) -> list[Finding]:
+    mover_calls = [n for n in ast.walk(method) if _mover_call(n)]
+    if not mover_calls:
+        return []
+    if any(_attr_call(n, "begin_inflight") for n in ast.walk(method)):
+        return []
+    return [_finding(
+        "REP204",
+        "mover call without begin_inflight() in this method — concurrent "
+        "fetchers cannot join the move", file, call.lineno,
+        chare=cls.name, entry=method.name) for call in mover_calls]
+
+
+def _check_fetch_results(cls: ast.ClassDef, method: ast.FunctionDef,
+                         file: str) -> list[Finding]:
+    findings = []
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Expr):
+            continue
+        value = node.value
+        if isinstance(value, (ast.YieldFrom, ast.Await)):
+            value = value.value
+        if _attr_call(value, "fetch_task_blocks"):
+            findings.append(_finding(
+                "REP205",
+                "fetch_task_blocks() result discarded — on failure the "
+                "task must not be made ready", file, node.lineno,
+                chare=cls.name, entry=method.name))
+    return findings
+
+
+# -- entry points --------------------------------------------------------------
+
+
+def check_tree(tree: ast.Module, filename: str) -> list[Finding]:
+    """Model-check one parsed module; returns findings (empty on clean)."""
+    findings: list[Finding] = []
+    for cls in _protocol_classes(tree):
+        findings.extend(_check_state_assigns(cls, filename))
+        findings.extend(_check_settle_literals(cls, filename))
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            findings.extend(_check_evictions(cls, method, filename))
+            findings.extend(_check_move_exits(cls, method, filename))
+            findings.extend(_check_inflight(cls, method, filename))
+            findings.extend(_check_fetch_results(cls, method, filename))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings
+
+
+def check_source(source: str, filename: str = "<string>") -> list[Finding]:
+    """Model-check one source text (standalone; no REP1xx pass)."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [_finding("REP100", f"could not parse: {exc.msg}",
+                         filename, exc.lineno or 1)]
+    return check_tree(tree, filename)
+
+
+def check_file(path: str | os.PathLike) -> list[Finding]:
+    """Model-check one python file; findings anchored to its path."""
+    with open(path, encoding="utf-8") as fh:
+        return check_source(fh.read(), filename=str(path))
+
+
+def check_paths(paths: _t.Iterable[str | os.PathLike]) -> LintReport:
+    """Model-check every python file under ``paths``."""
+    report = LintReport()
+    for file in iter_python_files(paths):
+        report.extend(check_file(file))
+    return report
+
+
+def default_targets() -> list[str]:
+    """The protocol surface the ISSUE names: strategies/ and the mover."""
+    import repro.core.strategies as strategies_pkg
+    import repro.mem.mover as mover_mod
+    return [os.path.dirname(os.path.abspath(strategies_pkg.__file__)),
+            os.path.abspath(mover_mod.__file__)]

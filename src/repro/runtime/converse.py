@@ -12,6 +12,7 @@ import inspect
 import typing as _t
 
 from repro.errors import EntryMethodError
+from repro.race import hooks as _rh
 from repro.runtime.interception import ReadyTask, RetryFetch
 from repro.runtime.message import Message
 from repro.runtime.pe import PE
@@ -39,6 +40,8 @@ def deliver(runtime: "CharmRuntime", pe: PE, message: Message,
     spec = message.entry
     message.delivered_at = runtime.env.now
     pe.messages_delivered += 1
+    if _rh.tracker is not None:
+        _rh.tracker.on_deliver(pe, message, task)
 
     started = runtime.env.now
     runtime.current_pe_id = pe.id

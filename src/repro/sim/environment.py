@@ -7,6 +7,7 @@ import typing as _t
 from itertools import count
 
 from repro.errors import DeadlockError, SimulationError
+from repro.race import hooks as _rh
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -49,6 +50,9 @@ class Environment:
         self._live = 0
         #: live processes, for deadlock diagnostics
         self._active: dict[int, "Process"] = {}
+        #: optional same-instant tie-breaker (schedule explorer); maps the
+        #: raw sequence number to the heap sequence key
+        self._tie_break: _t.Callable[[int], _t.Any] | None = None
 
     # -- clock --------------------------------------------------------------
 
@@ -89,10 +93,31 @@ class Environment:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        entry = [self._now + delay, priority, next(self._seq), event]
+        seq: _t.Any = next(self._seq)
+        if self._tie_break is not None:
+            seq = self._tie_break(seq)
+        entry = [self._now + delay, priority, seq, event]
         heapq.heappush(self._queue, entry)
         self._live += 1
+        if _rh.tracker is not None:
+            _rh.tracker.on_scheduled(event)
         return entry
+
+    def set_tie_breaker(
+            self, fn: "_t.Callable[[int], _t.Any] | None") -> None:
+        """Install a same-instant ordering permuter (schedule explorer).
+
+        ``fn`` maps each raw sequence number to the sequence key actually
+        used in the heap — events with equal ``(time, priority)`` are then
+        processed in key order instead of FIFO, while the keys stay unique
+        so cross-time/priority ordering is untouched.  Must be installed
+        before anything is scheduled: mixing plain and mapped keys in one
+        heap would make same-instant entries incomparable.
+        """
+        if self._queue:
+            raise SimulationError(
+                "set_tie_breaker() requires an empty event queue")
+        self._tie_break = fn
 
     def cancel(self, entry: list) -> bool:
         """Invalidate a scheduled heap entry in place (O(1)).
@@ -103,6 +128,8 @@ class Environment:
         """
         if entry[3] is None:
             return False
+        if _rh.tracker is not None:
+            _rh.tracker.on_descheduled(entry[3])
         entry[3] = None
         self._live -= 1
         return True
@@ -130,6 +157,8 @@ class Environment:
         entry[3] = None
         self._live -= 1
         self._now = when
+        if _rh.tracker is not None:
+            _rh.tracker.on_processing(event)
         event._process()
         if not event._ok and not event._defused:
             # Nobody handled this failure: surface it instead of silently

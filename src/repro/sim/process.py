@@ -19,6 +19,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.errors import ProcessKilled, SimulationError
+from repro.race import hooks as _rh
 from repro.sim.environment import URGENT, Environment
 from repro.sim.events import Event, PENDING
 
@@ -79,6 +80,8 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         if not self.is_alive:
             return
+        if _rh.tracker is not None:
+            _rh.tracker.on_resume(self, event)
         self._target = None
         try:
             if event.ok:

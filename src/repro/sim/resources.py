@@ -13,6 +13,7 @@ from collections import deque
 from itertools import count
 
 from repro.errors import SimulationError
+from repro.race import hooks as _rh
 from repro.sim.environment import Environment
 from repro.sim.events import Event
 
@@ -47,13 +48,21 @@ class Store:
         if self._getters:
             self._getters.popleft().succeed(item)
         else:
+            # buffered handoff: the later get() succeeds from the getter's
+            # own context, so without this hook the put->get causality edge
+            # would be invisible to the race detector
+            if _rh.tracker is not None:
+                _rh.tracker.on_handoff_put(item)
             self._items.append(item)
 
     def get(self) -> Event:
         ev = self.env.event(name=f"{self.name}.get")
         self.total_gets += 1
         if self._items:
-            ev.succeed(self._items.popleft())
+            item = self._items.popleft()
+            if _rh.tracker is not None:
+                _rh.tracker.on_handoff_get(item)
+            ev.succeed(item)
         else:
             self._getters.append(ev)
         return ev
@@ -62,7 +71,10 @@ class Store:
         """Non-blocking pop; returns None when empty."""
         if self._items:
             self.total_gets += 1
-            return self._items.popleft()
+            item = self._items.popleft()
+            if _rh.tracker is not None:
+                _rh.tracker.on_handoff_get(item)
+            return item
         return None
 
 
@@ -87,13 +99,18 @@ class PriorityStore(Store):
         if self._getters:
             self._getters.popleft().succeed(item)
         else:
+            if _rh.tracker is not None:
+                _rh.tracker.on_handoff_put(item)
             heapq.heappush(self._heap, (key, next(self._seq), item))
 
     def get(self) -> Event:
         ev = self.env.event(name=f"{self.name}.get")
         self.total_gets += 1
         if self._heap:
-            ev.succeed(heapq.heappop(self._heap)[2])
+            item = heapq.heappop(self._heap)[2]
+            if _rh.tracker is not None:
+                _rh.tracker.on_handoff_get(item)
+            ev.succeed(item)
         else:
             self._getters.append(ev)
         return ev
@@ -101,7 +118,10 @@ class PriorityStore(Store):
     def try_get(self) -> _t.Any | None:
         if self._heap:
             self.total_gets += 1
-            return heapq.heappop(self._heap)[2]
+            item = heapq.heappop(self._heap)[2]
+            if _rh.tracker is not None:
+                _rh.tracker.on_handoff_get(item)
+            return item
         return None
 
 

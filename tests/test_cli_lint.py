@@ -45,6 +45,19 @@ class TestLintCommand:
     def test_no_targets_exits_two(self, capsys):
         assert main(["lint"]) == 2
 
+    def test_findings_exit_one_not_two(self, capsys):
+        # exit codes are a contract: 1 = verdict with findings, 2 = the
+        # run itself failed (bad args / internal error)
+        assert main(["lint", FIXTURE]) == 1
+        assert capsys.readouterr().err == ""
+
+    def test_internal_error_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "not_utf8.py"
+        target.write_bytes(b"x = 1\n\xff\xfe\x00bad\n")
+        assert main(["lint", str(target)]) == 2
+        err = capsys.readouterr().err
+        assert "lint: internal error" in err
+
     def test_rules_listing(self, capsys):
         assert main(["lint", "--rules"]) == 0
         out = capsys.readouterr().out

@@ -30,6 +30,9 @@ MODULES = [
     "repro.apps.stream_app", "repro.apps.jacobi2d", "repro.apps.spmv",
     "repro.lint", "repro.lint.findings", "repro.lint.rules",
     "repro.lint.hooks", "repro.lint.static_checker", "repro.lint.sanitizer",
+    "repro.hooks",
+    "repro.race", "repro.race.hooks", "repro.race.clock",
+    "repro.race.detector", "repro.race.model_checker", "repro.race.explorer",
     "repro.metrics", "repro.metrics.hooks", "repro.metrics.instruments",
     "repro.metrics.registry", "repro.metrics.recorder",
     "repro.metrics.export", "repro.metrics.bind", "repro.metrics.session",

@@ -1,0 +1,176 @@
+"""Shared hook slots: multi-observer dispatch + three-subsystem coexistence."""
+
+import pytest
+
+from repro.hooks import FanOut, HookSlot
+from repro.lint import hooks as lint_hooks
+from repro.metrics import hooks as metrics_hooks
+from repro.race import hooks as race_hooks
+
+
+class Recorder:
+    def __init__(self):
+        self.calls = []
+
+    def on_retain(self, block):
+        self.calls.append(("retain", block))
+        return "ignored"
+
+    def on_release(self, block):
+        self.calls.append(("release", block))
+
+
+class RetainOnly:
+    def __init__(self):
+        self.calls = []
+
+    def on_retain(self, block):
+        self.calls.append(("retain", block))
+
+
+class TestFanOut:
+    def test_dispatches_in_install_order(self):
+        a, b = Recorder(), Recorder()
+        fan = FanOut([a, b])
+        fan.on_retain("blk")
+        assert a.calls == [("retain", "blk")]
+        assert b.calls == [("retain", "blk")]
+
+    def test_skips_observers_missing_the_method(self):
+        a, b = Recorder(), RetainOnly()
+        fan = FanOut([a, b])
+        fan.on_release("blk")  # RetainOnly has no on_release: no crash
+        assert a.calls == [("release", "blk")]
+        assert b.calls == []
+
+    def test_drops_return_values(self):
+        fan = FanOut([Recorder()])
+        assert fan.on_retain("blk") is None
+
+    def test_memoizes_dispatchers(self):
+        fan = FanOut([Recorder()])
+        assert fan.on_retain is fan.on_retain  # second read skips __getattr__
+
+    def test_private_names_raise(self):
+        with pytest.raises(AttributeError):
+            FanOut([Recorder()])._secret
+
+
+class TestHookSlot:
+    def setup_method(self):
+        # slots under test publish into this module's namespace
+        import sys
+        self.mod = sys.modules[__name__]
+
+    def teardown_method(self):
+        if hasattr(self.mod, "probe"):
+            del self.mod.probe
+
+    def test_publishes_none_single_fanout(self):
+        slot = HookSlot(__name__, "probe")
+        a, b = Recorder(), Recorder()
+        slot.install(a)
+        assert self.mod.probe is a  # sole observer: no indirection
+        slot.install(b)
+        assert isinstance(self.mod.probe, FanOut)
+        slot.uninstall(b)
+        assert self.mod.probe is a
+        slot.uninstall(a)
+        assert self.mod.probe is None
+
+    def test_install_is_idempotent_per_object(self):
+        slot = HookSlot(__name__, "probe")
+        a = Recorder()
+        slot.install(a)
+        slot.install(a)
+        assert self.mod.probe is a
+
+    def test_install_none_raises(self):
+        with pytest.raises(RuntimeError):
+            HookSlot(__name__, "probe").install(None)
+
+    def test_exclusive_slot_rejects_second_observer(self):
+        slot = HookSlot(__name__, "probe", exclusive=True, kind="registry")
+        slot.install(Recorder())
+        with pytest.raises(RuntimeError, match="registry is already"):
+            slot.install(Recorder())
+
+    def test_uninstall_none_clears_all(self):
+        slot = HookSlot(__name__, "probe")
+        slot.install(Recorder())
+        slot.install(Recorder())
+        slot.uninstall()
+        assert self.mod.probe is None
+        slot.uninstall()  # idempotent on empty
+
+    def test_uninstall_unknown_observer_is_noop(self):
+        slot = HookSlot(__name__, "probe")
+        a = Recorder()
+        slot.install(a)
+        slot.uninstall(Recorder())
+        assert self.mod.probe is a
+
+
+class TestSubsystemSlots:
+    def test_lint_slot_is_shared(self):
+        a, b = Recorder(), Recorder()
+        try:
+            lint_hooks.install(a)
+            lint_hooks.install(b)
+            assert isinstance(lint_hooks.observer, FanOut)
+            lint_hooks.observer.on_retain("blk")
+            assert a.calls == b.calls == [("retain", "blk")]
+        finally:
+            lint_hooks.uninstall()
+        assert lint_hooks.observer is None
+
+    def test_metrics_slot_is_exclusive(self):
+        from repro.metrics import MetricsRegistry
+        try:
+            metrics_hooks.install(MetricsRegistry())
+            with pytest.raises(RuntimeError):
+                metrics_hooks.install(MetricsRegistry())
+        finally:
+            metrics_hooks.uninstall()
+        assert metrics_hooks.registry is None
+
+
+class TestThreeObserverCoexistence:
+    """simsan + racesan + metrics active in one run, none steps on another."""
+
+    def test_all_three_observe_one_stencil_run(self):
+        from repro.apps.stencil3d import Stencil3D, StencilConfig
+        from repro.core.api import OOCRuntimeBuilder
+        from repro.lint import SimSanitizer
+        from repro.metrics import MetricsRegistry
+        from repro.race import RaceSanitizer
+        from repro.sim.environment import Environment
+
+        env = Environment()
+        simsan = SimSanitizer(mode="record").install()
+        racesan = RaceSanitizer().install(env)
+        registry = MetricsRegistry()
+        metrics_hooks.install(registry)
+        try:
+            assert isinstance(lint_hooks.observer, FanOut)
+            built = OOCRuntimeBuilder(
+                "multi-io", cores=8, mcdram_capacity=128 << 20,
+                ddr_capacity=1 << 30, trace=False).build_into(env)
+            cfg = StencilConfig(total_bytes=256 << 20, block_bytes=16 << 20,
+                                iterations=1)
+            Stencil3D(built, cfg).run()
+            simsan.check_quiescent(built.manager)
+        finally:
+            metrics_hooks.uninstall()
+            racesan.uninstall()
+            simsan.uninstall()
+        assert simsan.violations == []
+        assert racesan.findings == []
+        assert racesan.accesses_observed > 0
+        assert racesan.events_observed > 0
+        names = {inst.name for inst in registry.instruments()}
+        assert "repro_prefetch_issued_total" in names
+        # everything unwound: the fast-path globals are None again
+        assert lint_hooks.observer is None
+        assert race_hooks.tracker is None
+        assert metrics_hooks.registry is None

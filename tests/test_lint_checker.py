@@ -7,7 +7,8 @@ import pytest
 
 from repro.lint import check_file, check_paths, check_source
 from repro.lint.findings import Severity
-from repro.lint.rules import RULES, SANITIZER_RULES, STATIC_RULES
+from repro.lint.rules import (RACE_RULES, RULES, SANITIZER_RULES,
+                              STATIC_RULES)
 
 FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
                        "lint_bad_chare.py")
@@ -22,9 +23,12 @@ def rule_ids(findings):
 
 
 class TestRuleCatalog:
-    def test_static_and_sanitizer_partition_the_catalog(self):
-        assert set(STATIC_RULES) | set(SANITIZER_RULES) == set(RULES)
-        assert not set(STATIC_RULES) & set(SANITIZER_RULES)
+    def test_rule_families_partition_the_catalog(self):
+        families = (set(STATIC_RULES), set(SANITIZER_RULES), set(RACE_RULES))
+        assert set().union(*families) == set(RULES)
+        for i, a in enumerate(families):
+            for b in families[i + 1:]:
+                assert not a & b
 
     def test_every_rule_documented(self):
         for rule in RULES.values():

@@ -60,9 +60,14 @@ class TestLifecycle:
         sanitizer.uninstall()
         assert hooks.observer is None
 
-    def test_second_observer_rejected(self, san):
-        with pytest.raises(RuntimeError):
-            SimSanitizer().install()
+    def test_second_observer_fans_out(self, san):
+        # the lint slot is shared: a second observer joins a FanOut
+        # rather than being rejected (full coverage in test_hooks_multi)
+        from repro.hooks import FanOut
+        other = SimSanitizer().install()
+        assert isinstance(hooks.observer, FanOut)
+        other.uninstall()
+        assert hooks.observer is san
 
     def test_context_manager(self):
         with SimSanitizer() as sanitizer:
