@@ -13,9 +13,15 @@ records the trajectory in ``BENCH_simcore.json`` (see
 * ``shared_link_movers`` — 64 concurrent movers crossing the *same* two
   ports (the Figure 7 memcpy pile-up).  One connected component, so the
   gain here is same-instant batching only; this bounds the worst case.
+* ``event_churn`` — no fluid model at all: 64 store/resource worker loops
+  hammering ``Store.get``/``Resource.request``/``env.timeout``.  This is
+  the pure event-core hot path the ``__slots__`` + constant-event-name
+  micro-opt pass targets; the recorded ``ops_per_s`` is the before/after
+  number quoted in EXPERIMENTS.md.
 
-Both scenarios assert the two solvers agree on the simulated timeline —
-this file runs in the default test path, so the perf harness cannot rot.
+Both fluid scenarios assert the two solvers agree on the simulated
+timeline — this file runs in the default test path, so the perf harness
+cannot rot.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ import pytest
 from repro.bench.regression import best_wall_time, write_bench
 from repro.sim.environment import Environment
 from repro.sim.fluid import FluidNetwork
+from repro.sim.resources import Resource, Store
 
 #: scenario shape: a 64-PE machine, a few flows per PE lane
 PES = 64
@@ -82,6 +89,42 @@ def run_shared_link_movers(solver: str, *, movers: int = PES,
     return env.now, net.solves
 
 
+def run_event_churn(*, pes: int = PES, rounds: int = 150) -> tuple[float, int]:
+    """Store/Resource/Timeout churn with no fluid flows (pure event core).
+
+    Each of ``pes`` workers loops: blocking ``get`` from its store, a
+    counted-resource acquire/release, and a tiny timeout — the per-message
+    skeleton of the runtime's PE loop.  Returns (simulated end time,
+    total worker iterations).
+    """
+    env = Environment()
+    stores = [Store(env, name=f"q{i}") for i in range(pes)]
+    res = Resource(env, capacity=32, name="slots")
+
+    def worker(store: Store):
+        while True:
+            item = yield store.get()
+            if item is None:
+                return
+            yield res.request()
+            yield env.timeout(1e-6)
+            res.release()
+
+    def feeder():
+        for r in range(rounds):
+            for store in stores:
+                store.put(r)
+            yield env.timeout(1e-5)
+        for store in stores:
+            store.put(None)
+
+    for store in stores:
+        env.process(worker(store), name=f"w.{store.name}")
+    env.process(feeder(), name="feeder")
+    env.run()
+    return env.now, rounds * pes
+
+
 def _measure(run_fn, solver: str) -> dict:
     elapsed, (sim_time, solves) = best_wall_time(
         lambda: run_fn(solver), repeats=2)
@@ -114,13 +157,26 @@ def test_simcore_regression() -> None:
         "sim_time_s": inc["sim_time_s"],
     }
 
+    churn_elapsed, (churn_sim, churn_ops) = best_wall_time(
+        run_event_churn, repeats=2)
+    metrics["event_churn"] = {
+        "wall_s": churn_elapsed,
+        "ops": churn_ops,
+        "ops_per_s": churn_ops / churn_elapsed,
+        "sim_time_s": churn_sim,
+    }
+
     path = write_bench("simcore", metrics)
     print(f"\nwrote {path}")
     for scenario, row in metrics.items():
-        print(f"  {scenario}: full {row['full_s']*1e3:.1f}ms "
-              f"-> incremental {row['incremental_s']*1e3:.1f}ms "
-              f"({row['speedup']:.1f}x; solves "
-              f"{row['full_solves']} -> {row['incremental_solves']})")
+        if "speedup" in row:
+            print(f"  {scenario}: full {row['full_s']*1e3:.1f}ms "
+                  f"-> incremental {row['incremental_s']*1e3:.1f}ms "
+                  f"({row['speedup']:.1f}x; solves "
+                  f"{row['full_solves']} -> {row['incremental_solves']})")
+        else:
+            print(f"  {scenario}: {row['wall_s']*1e3:.1f}ms "
+                  f"({row['ops_per_s']/1e3:.0f}k ops/s)")
 
     # The tentpole's acceptance bar: >=2x on the 64-PE contention scenario.
     assert contention_speedup >= 2.0, (

@@ -1,33 +1,42 @@
 """One experiment definition per paper figure.
 
-Each function regenerates the data behind a figure of the paper's
-evaluation and returns an :class:`~repro.bench.harness.ExperimentResult`
-whose rows/series mirror what the paper plots.  Absolute values live in
-simulated time; the *shape* claims (who wins, by what factor, where the
-crossovers sit) are what EXPERIMENTS.md compares.
+Each figure is declared as a :class:`~repro.bench.harness.FigurePlan`:
+an enumeration of :class:`~repro.exec.spec.RunSpec` simulation runs
+(one per strategy x working-set point) plus an ``assemble`` function
+that folds the runs' result dicts into an
+:class:`~repro.bench.harness.ExperimentResult` whose rows/series mirror
+what the paper plots.  The classic ``figN_*()`` functions still return
+the assembled result directly — they execute their plan through the
+current :mod:`repro.exec.context`, so ``repro experiments -j 8`` fans
+the same runs out over a process pool and caches them without touching
+any figure's output.
+
+Enumeration is canonical by construction: spec params serialize with
+sorted keys, sweeps iterate explicit tuples, and no ordering depends on
+``PYTHONHASHSEED`` — so cache keys and sweep order are identical across
+runs and Python versions.
 
 All experiments accept a :class:`~repro.bench.harness.Scale`; ``SMALL``
 (1/16 capacities and working sets) is the CI default, ``FULL`` is the
-paper's literal sizes.
+paper's literal sizes.  Absolute values live in simulated time; the
+*shape* claims (who wins, by what factor, where the crossovers sit) are
+what EXPERIMENTS.md compares.
 """
 
 from __future__ import annotations
 
 import typing as _t
 
-from repro.apps.matmul import MatMul, MatMulConfig
-from repro.apps.stencil3d import Stencil3D, StencilConfig
-from repro.bench.harness import ExperimentResult, Scale, speedup_table
-from repro.core.api import OOCRuntimeBuilder
-from repro.machine.knl import build_knl
-from repro.machine.stream import run_stream
-from repro.mem.block import DataBlock
-from repro.sim.environment import Environment
-from repro.trace.projections import build_report
+from repro.bench.harness import (ExperimentResult, FigurePlan, Scale,
+                                 run_plan, speedup_table)
+from repro.exec.spec import RunSpec
 from repro.units import GB, GiB, MiB
 
 __all__ = [
     "STRATEGY_SERIES",
+    "PLANS",
+    "fig1_plan", "fig2_plan", "fig5_plan", "fig6_plan", "fig7_plan",
+    "fig8_plan", "fig9_plan",
     "fig1_stream_bandwidth",
     "fig2_stencil_fits_in_hbm",
     "fig5_projections_wait",
@@ -46,47 +55,97 @@ STRATEGY_SERIES = {
 }
 
 
-def _builder(strategy: str, scale: Scale, *, trace: bool = False,
-             **kwargs: _t.Any) -> OOCRuntimeBuilder:
-    return OOCRuntimeBuilder(
-        strategy,
-        cores=64,
-        mcdram_capacity=scale.mcdram,
-        ddr_capacity=scale.ddr,
-        trace=trace,
-        **kwargs)
+def _machine(strategy: str, scale: Scale, *, trace: bool = False,
+             cores: int = 64) -> dict[str, _t.Any]:
+    """The common machine params of one figure run (canonical subset)."""
+    return {"strategy": strategy, "cores": cores,
+            "mcdram": scale.mcdram, "ddr": scale.ddr, "trace": trace}
 
 
 # ---------------------------------------------------------------------------
 # Figure 1 — STREAM bandwidth, DDR4 vs MCDRAM
 # ---------------------------------------------------------------------------
 
+_FIG1_KERNELS = ("copy", "scale", "add", "triad")
+_FIG1_DEVICES = ("ddr4", "mcdram")
+
+
+def fig1_plan(scale: Scale = Scale.SMALL, *, threads: int = 64,
+              array_bytes: int = 64 * MiB) -> FigurePlan:
+    """STREAM copy/scale/add/triad on both memory nodes (GB/s)."""
+    del scale  # Figure 1 measures raw node bandwidth; capacity-free
+    specs = [
+        RunSpec("stream",
+                {"device": device, "kernel": kernel, "threads": threads,
+                 "array_bytes": array_bytes},
+                cost=0.1, label=f"fig1/{kernel}/{device}")
+        for kernel in _FIG1_KERNELS
+        for device in _FIG1_DEVICES
+    ]
+
+    def assemble(results: _t.Sequence[_t.Mapping]) -> ExperimentResult:
+        series: dict[str, dict[str, float]] = {}
+        it = iter(results)
+        for kernel in _FIG1_KERNELS:
+            row = {device: next(it)["bandwidth"] / GB
+                   for device in _FIG1_DEVICES}
+            series[kernel] = row
+        ratios = {k: row["mcdram"] / row["ddr4"]
+                  for k, row in series.items()}
+        return ExperimentResult(
+            figure="Fig1",
+            description="STREAM bandwidth per memory node "
+                        f"({threads} threads)",
+            series=series, unit="GB/s",
+            notes={"mcdram_to_ddr4_ratio": {k: round(v, 2)
+                                            for k, v in ratios.items()}})
+
+    return FigurePlan("Fig1", specs, assemble)
+
+
 def fig1_stream_bandwidth(*, threads: int = 64,
                           array_bytes: int = 64 * MiB) -> ExperimentResult:
     """STREAM copy/scale/add/triad on both memory nodes (GB/s)."""
-    env = Environment()
-    node = build_knl(env)
-    series: dict[str, dict[str, float]] = {}
-    for kernel in ("copy", "scale", "add", "triad"):
-        row: dict[str, float] = {}
-        for device in ("ddr4", "mcdram"):
-            result = run_stream(node, device, kernel=kernel,
-                                threads=threads, array_bytes=array_bytes)
-            row[device] = result.bandwidth / GB
-        series[kernel] = row
-    ratios = {k: row["mcdram"] / row["ddr4"] for k, row in series.items()}
-    return ExperimentResult(
-        figure="Fig1",
-        description="STREAM bandwidth per memory node "
-                    f"({threads} threads)",
-        series=series, unit="GB/s",
-        notes={"mcdram_to_ddr4_ratio": {k: round(v, 2)
-                                        for k, v in ratios.items()}})
+    return run_plan(fig1_plan(threads=threads, array_bytes=array_bytes))
 
 
 # ---------------------------------------------------------------------------
 # Figure 2 — Stencil3D when the working set fits in HBM
 # ---------------------------------------------------------------------------
+
+_FIG2_SERIES = (("hbm-only", "HBM"), ("ddr-only", "DDR4"))
+
+
+def fig2_plan(scale: Scale = Scale.SMALL,
+              iterations: int = 5) -> FigurePlan:
+    """Total and compute-kernel time, HBM-only vs DDR4-only placement."""
+    total = scale.size(8 * GiB)       # fits in the (scaled) 16 GiB HBM
+    block = scale.size(128 * MiB)
+    specs = [
+        RunSpec("stencil",
+                {**_machine(strategy, scale), "total": total,
+                 "block": block, "iterations": iterations},
+                cost=2.0 * total / GiB,
+                label=f"fig2/stencil/{strategy}")
+        for strategy, _label in _FIG2_SERIES
+    ]
+
+    def assemble(results: _t.Sequence[_t.Mapping]) -> ExperimentResult:
+        series: dict[str, dict[str, float]] = {"total time": {},
+                                               "compute kernel time": {}}
+        for (_strategy, label), res in zip(_FIG2_SERIES, results):
+            series["total time"][label] = res["total_time"]
+            series["compute kernel time"][label] = res["mean_kernel_time"]
+        ratio = (series["compute kernel time"]["DDR4"]
+                 / series["compute kernel time"]["HBM"])
+        return ExperimentResult(
+            figure="Fig2",
+            description="Stencil3D on HBM vs DDR4, working set fits in HBM",
+            series=series, unit="s",
+            notes={"kernel_slowdown_on_ddr4": round(ratio, 2)})
+
+    return FigurePlan("Fig2", specs, assemble)
+
 
 def fig2_stencil_fits_in_hbm(scale: Scale = Scale.SMALL,
                              iterations: int = 5) -> ExperimentResult:
@@ -95,41 +154,50 @@ def fig2_stencil_fits_in_hbm(scale: Scale = Scale.SMALL,
     The paper observes ~3x faster kernels from HBM; the motivation for the
     whole prefetch design.
     """
-    total = scale.size(8 * GiB)       # fits in the (scaled) 16 GiB HBM
-    block = scale.size(128 * MiB)
-    series: dict[str, dict[str, float]] = {"total time": {},
-                                           "compute kernel time": {}}
-    for strategy, label in (("hbm-only", "HBM"), ("ddr-only", "DDR4")):
-        built = _builder(strategy, scale).build()
-        cfg = StencilConfig(total_bytes=total, block_bytes=block,
-                            iterations=iterations)
-        app = Stencil3D(built, cfg)
-        result = app.run()
-        series["total time"][label] = result.total_time
-        series["compute kernel time"][label] = result.mean_kernel_time
-    ratio = (series["compute kernel time"]["DDR4"]
-             / series["compute kernel time"]["HBM"])
-    return ExperimentResult(
-        figure="Fig2",
-        description="Stencil3D on HBM vs DDR4, working set fits in HBM",
-        series=series, unit="s",
-        notes={"kernel_slowdown_on_ddr4": round(ratio, 2)})
+    return run_plan(fig2_plan(scale, iterations))
 
 
 # ---------------------------------------------------------------------------
 # Figures 5 & 6 — Projections: wait time and sync-vs-async overhead
 # ---------------------------------------------------------------------------
 
-def _traced_stencil(strategy: str, scale: Scale,
-                    iterations: int = 3) -> tuple:
-    built = _builder(strategy, scale, trace=True).build()
-    cfg = StencilConfig(total_bytes=scale.size(32 * GiB),
-                        block_bytes=scale.size(64 * MiB),
-                        iterations=iterations)
-    app = Stencil3D(built, cfg)
-    result = app.run()
-    report = build_report(built.runtime.tracer)
-    return built, result, report
+def _traced_stencil_spec(strategy: str, scale: Scale, *, figure: str,
+                         iterations: int = 3) -> RunSpec:
+    """The out-of-core traced Stencil3D run Figures 5 and 6 both use.
+
+    The spec identity excludes the figure name, so the shared multi-io
+    run dedups to a single execution (and one cache entry) when both
+    figures run in one sweep.
+    """
+    total = scale.size(32 * GiB)
+    return RunSpec(
+        "stencil",
+        {**_machine(strategy, scale, trace=True), "total": total,
+         "block": scale.size(64 * MiB), "iterations": iterations},
+        cost=4.0 * total / GiB,
+        label=f"{figure}/traced-stencil/{strategy}")
+
+
+def fig5_plan(scale: Scale = Scale.SMALL) -> FigurePlan:
+    """Worker wait fraction: single IO thread vs multiple IO threads."""
+    pairs = (("single-io", "Single IO thread"),
+             ("multi-io", "Multiple IO threads"))
+    specs = [_traced_stencil_spec(strategy, scale, figure="fig5")
+             for strategy, _label in pairs]
+
+    def assemble(results: _t.Sequence[_t.Mapping]) -> ExperimentResult:
+        series: dict[str, dict[str, float]] = {}
+        for (_strategy, label), res in zip(pairs, results):
+            series.setdefault("wait fraction", {})[label] = \
+                res["wait_fraction"]
+            series.setdefault("utilization", {})[label] = \
+                res["utilization"]
+        return ExperimentResult(
+            figure="Fig5",
+            description="Projections wait fraction, Stencil3D out-of-core",
+            series=series, unit="fraction of wall time")
+
+    return FigurePlan("Fig5", specs, assemble)
 
 
 def fig5_projections_wait(scale: Scale = Scale.SMALL) -> ExperimentResult:
@@ -138,18 +206,29 @@ def fig5_projections_wait(scale: Scale = Scale.SMALL) -> ExperimentResult:
     Figure 5's message: the 'red' (wait) portion dominates with a single
     IO thread and nearly disappears with per-PE IO threads.
     """
-    series: dict[str, dict[str, float]] = {}
-    for strategy, label in (("single-io", "Single IO thread"),
-                            ("multi-io", "Multiple IO threads")):
-        _built, _result, report = _traced_stencil(strategy, scale)
-        series.setdefault("wait fraction", {})[label] = \
-            report.mean_wait_fraction()
-        series.setdefault("utilization", {})[label] = \
-            report.mean_utilization()
-    return ExperimentResult(
-        figure="Fig5",
-        description="Projections wait fraction, Stencil3D out-of-core",
-        series=series, unit="fraction of wall time")
+    return run_plan(fig5_plan(scale))
+
+
+def fig6_plan(scale: Scale = Scale.SMALL) -> FigurePlan:
+    """Per-task synchronous pre-processing time: no-IO vs multi-IO."""
+    pairs = (("no-io", "Synchronous (no IO thread)"),
+             ("multi-io", "Asynchronous (multi IO threads)"))
+    specs = [_traced_stencil_spec(strategy, scale, figure="fig6")
+             for strategy, _label in pairs]
+
+    def assemble(results: _t.Sequence[_t.Mapping]) -> ExperimentResult:
+        series: dict[str, dict[str, float]] = {"preprocess per task": {}}
+        notes: dict[str, _t.Any] = {}
+        for (strategy, label), res in zip(pairs, results):
+            series["preprocess per task"][label] = \
+                res["preprocess_per_task"]
+            notes[f"{strategy}_total_time_s"] = round(res["total_time"], 4)
+        return ExperimentResult(
+            figure="Fig6",
+            description="Synchronous fetch overhead per task, Stencil3D",
+            series=series, unit="s/task", notes=notes)
+
+    return FigurePlan("Fig6", specs, assemble)
 
 
 def fig6_sync_vs_async(scale: Scale = Scale.SMALL) -> ExperimentResult:
@@ -158,25 +237,46 @@ def fig6_sync_vs_async(scale: Scale = Scale.SMALL) -> ExperimentResult:
     Figure 6's message: the synchronous strategy inserts ~20 ms of fetch
     before each kernel; the asynchronous one hides it.
     """
-    series: dict[str, dict[str, float]] = {"preprocess per task": {}}
-    notes: dict[str, _t.Any] = {}
-    for strategy, label in (("no-io", "Synchronous (no IO thread)"),
-                            ("multi-io", "Asynchronous (multi IO threads)")):
-        built, result, report = _traced_stencil(strategy, scale)
-        tasks_per_pe = {f"pe{pe.id}": pe.tasks_executed
-                        for pe in built.runtime.pes}
-        series["preprocess per task"][label] = \
-            report.mean_preprocess_per_task(tasks_per_pe)
-        notes[f"{strategy}_total_time_s"] = round(result.total_time, 4)
-    return ExperimentResult(
-        figure="Fig6",
-        description="Synchronous fetch overhead per task, Stencil3D",
-        series=series, unit="s/task", notes=notes)
+    return run_plan(fig6_plan(scale))
 
 
 # ---------------------------------------------------------------------------
 # Figure 7 — memcpy migration cost under 64-thread stress
 # ---------------------------------------------------------------------------
+
+_FIG7_DIRECTIONS = ("ddr-to-hbm", "hbm-to-ddr")
+
+
+def fig7_plan(scale: Scale = Scale.SMALL,
+              block_gb: _t.Sequence[float] = (1, 2, 4, 6, 8, 10, 12, 14, 16),
+              threads: int = 64) -> FigurePlan:
+    """Average per-thread memcpy time for DDR->HBM and HBM->DDR moves."""
+    block_gb = tuple(block_gb)
+    specs = [
+        RunSpec("memcpy",
+                {"direction": direction,
+                 "total_bytes": scale.size(gb * GB), "threads": threads,
+                 "mcdram": scale.mcdram, "ddr": scale.ddr},
+                cost=0.2 * gb,
+                label=f"fig7/memcpy/{gb}GB/{direction}")
+        for gb in block_gb
+        for direction in _FIG7_DIRECTIONS
+    ]
+
+    def assemble(results: _t.Sequence[_t.Mapping]) -> ExperimentResult:
+        series: dict[str, dict[str, float]] = {}
+        it = iter(results)
+        for gb in block_gb:
+            series[f"{gb}GB"] = {direction: next(it)["elapsed"]
+                                 for direction in _FIG7_DIRECTIONS}
+        return ExperimentResult(
+            figure="Fig7",
+            description=f"memcpy migration cost, {threads} concurrent "
+                        f"threads (sizes scaled 1/{scale.factor})",
+            series=series, unit="s")
+
+    return FigurePlan("Fig7", specs, assemble)
+
 
 def fig7_memcpy_cost(scale: Scale = Scale.SMALL,
                      block_gb: _t.Sequence[float] = (1, 2, 4, 6, 8, 10, 12, 14, 16),
@@ -186,38 +286,53 @@ def fig7_memcpy_cost(scale: Scale = Scale.SMALL,
     64 threads concurrently migrate equal slices of ``block_gb`` GB of
     data, as §IV-D does to 'stress the bandwidth'.
     """
-    series: dict[str, dict[str, float]] = {}
-    for gb in block_gb:
-        total_bytes = scale.size(gb * GB)
-        per_thread = max(total_bytes // threads, 1)
-        row: dict[str, float] = {}
-        for direction in ("ddr-to-hbm", "hbm-to-ddr"):
-            env = Environment()
-            node = build_knl(env, mcdram_capacity=scale.mcdram,
-                             ddr_capacity=scale.ddr)
-            src = node.ddr if direction == "ddr-to-hbm" else node.hbm
-            dst = node.hbm if direction == "ddr-to-hbm" else node.ddr
-            blocks = []
-            for i in range(threads):
-                block = DataBlock(f"mig{i}", per_thread)
-                node.registry.register(block)
-                node.topology.place_block(block, src)
-                blocks.append(block)
-            done = [env.process(node.mover.move(b, dst), name=f"mv{i}")
-                    for i, b in enumerate(blocks)]
-            env.run(env.all_of(done))
-            row[direction] = env.now / 1.0  # all threads run concurrently
-        series[f"{gb}GB"] = row
-    return ExperimentResult(
-        figure="Fig7",
-        description=f"memcpy migration cost, {threads} concurrent threads "
-                    f"(sizes scaled 1/{scale.factor})",
-        series=series, unit="s")
+    return run_plan(fig7_plan(scale, block_gb, threads))
 
 
 # ---------------------------------------------------------------------------
 # Figure 8 — Stencil3D speedup vs Naive
 # ---------------------------------------------------------------------------
+
+def fig8_plan(scale: Scale = Scale.SMALL, iterations: int = 5,
+              reduced_ws_gb: _t.Sequence[int] = (2, 4, 8)) -> FigurePlan:
+    """Application speedup over the Naive baseline, Stencil3D."""
+    reduced_ws_gb = tuple(reduced_ws_gb)
+    total = scale.size(32 * GiB)
+    strategies = ("naive",) + tuple(STRATEGY_SERIES)
+    specs = [
+        RunSpec("stencil",
+                {**_machine(strategy, scale), "total": total,
+                 "block": scale.size(rws * GiB) // 64,
+                 "iterations": iterations},
+                cost=8.0 * total / GiB * iterations / 5,
+                label=f"fig8/stencil/{rws}GB/{strategy}")
+        for rws in reduced_ws_gb
+        for strategy in strategies
+    ]
+
+    def assemble(results: _t.Sequence[_t.Mapping]) -> ExperimentResult:
+        times: dict[str, dict[str, float]] = {}
+        notes: dict[str, _t.Any] = {}
+        it = iter(results)
+        for rws in reduced_ws_gb:
+            label = f"{rws}GB"
+            times[label] = {strategy: next(it)["total_time"]
+                            for strategy in strategies}
+            notes[f"naive_time_{label}_s"] = round(times[label]["naive"], 4)
+        speedups = speedup_table(times, baseline="naive")
+        series = {
+            x: {STRATEGY_SERIES.get(k, k): v for k, v in row.items()
+                if k != "naive"}
+            for x, row in speedups.items()
+        }
+        return ExperimentResult(
+            figure="Fig8",
+            description="Stencil3D speedup vs Naive baseline "
+                        f"(total WS 32GB/{scale.factor}, {iterations} iters)",
+            series=series, unit="speedup", notes=notes)
+
+    return FigurePlan("Fig8", specs, assemble)
+
 
 def fig8_stencil_speedup(scale: Scale = Scale.SMALL,
                          iterations: int = 5,
@@ -229,37 +344,56 @@ def fig8_stencil_speedup(scale: Scale = Scale.SMALL,
     2/4/8 GB via block sizes of 32/64/128 MiB.  Paper shape: single-IO
     *slower* than Naive; no-IO better; multi-IO best at ~2x.
     """
-    total = scale.size(32 * GiB)
-    times: dict[str, dict[str, float]] = {}
-    notes: dict[str, _t.Any] = {}
-    for rws in reduced_ws_gb:
-        block = scale.size(rws * GiB) // 64
-        label = f"{rws}GB"
-        times[label] = {}
-        for strategy in ("naive",) + tuple(STRATEGY_SERIES):
-            built = _builder(strategy, scale).build()
-            cfg = StencilConfig(total_bytes=total, block_bytes=block,
-                                iterations=iterations)
-            app = Stencil3D(built, cfg)
-            result = app.run()
-            times[label][strategy] = result.total_time
-        notes[f"naive_time_{label}_s"] = round(times[label]["naive"], 4)
-    speedups = speedup_table(times, baseline="naive")
-    series = {
-        x: {STRATEGY_SERIES.get(k, k): v for k, v in row.items()
-            if k != "naive"}
-        for x, row in speedups.items()
-    }
-    return ExperimentResult(
-        figure="Fig8",
-        description="Stencil3D speedup vs Naive baseline "
-                    f"(total WS 32GB/{scale.factor}, {iterations} iters)",
-        series=series, unit="speedup", notes=notes)
+    return run_plan(fig8_plan(scale, iterations, reduced_ws_gb))
 
 
 # ---------------------------------------------------------------------------
 # Figure 9 — MatMul speedup vs Naive
 # ---------------------------------------------------------------------------
+
+def fig9_plan(scale: Scale = Scale.SMALL,
+              total_ws_gb: _t.Sequence[int] = (24, 36, 54),
+              block_dim: int = 96) -> FigurePlan:
+    """Application speedup over the Naive baseline, blocked MatMul."""
+    total_ws_gb = tuple(total_ws_gb)
+    strategies = ("naive",) + tuple(STRATEGY_SERIES)
+    specs = [
+        RunSpec("matmul",
+                {"strategy": strategy, "cores": 64,
+                 "mcdram": scale.mcdram, "ddr": scale.ddr,
+                 "working_set": scale.size(ws * GiB),
+                 "block_dim": block_dim},
+                # task count grows ~ grid^3 = (ws^1/2)^3: strongly
+                # superlinear, so the 54GB points must dispatch first
+                cost=20.0 * (scale.size(ws * GiB) / GiB) ** 1.5,
+                label=f"fig9/matmul/{ws}GB/{strategy}")
+        for ws in total_ws_gb
+        for strategy in strategies
+    ]
+
+    def assemble(results: _t.Sequence[_t.Mapping]) -> ExperimentResult:
+        times: dict[str, dict[str, float]] = {}
+        notes: dict[str, _t.Any] = {}
+        it = iter(results)
+        for ws in total_ws_gb:
+            label = f"{ws}GB"
+            times[label] = {strategy: next(it)["total_time"]
+                            for strategy in strategies}
+            notes[f"naive_time_{label}_s"] = round(times[label]["naive"], 4)
+        speedups = speedup_table(times, baseline="naive")
+        series = {
+            x: {STRATEGY_SERIES.get(k, k): v for k, v in row.items()
+                if k != "naive"}
+            for x, row in speedups.items()
+        }
+        return ExperimentResult(
+            figure="Fig9",
+            description="MatMul speedup vs Naive baseline "
+                        f"(total WS scaled 1/{scale.factor})",
+            series=series, unit="speedup", notes=notes)
+
+    return FigurePlan("Fig9", specs, assemble)
+
 
 def fig9_matmul_speedup(scale: Scale = Scale.SMALL,
                         total_ws_gb: _t.Sequence[int] = (24, 36, 54),
@@ -270,27 +404,16 @@ def fig9_matmul_speedup(scale: Scale = Scale.SMALL,
     strategies comparable (read-only panel reuse), speedup growing with
     the total working set; DDR4-only below 1.
     """
-    times: dict[str, dict[str, float]] = {}
-    notes: dict[str, _t.Any] = {}
-    for ws in total_ws_gb:
-        label = f"{ws}GB"
-        times[label] = {}
-        for strategy in ("naive",) + tuple(STRATEGY_SERIES):
-            built = _builder(strategy, scale).build()
-            cfg = MatMulConfig.for_working_set(scale.size(ws * GiB),
-                                               block_dim=block_dim)
-            app = MatMul(built, cfg)
-            result = app.run()
-            times[label][strategy] = result.total_time
-        notes[f"naive_time_{label}_s"] = round(times[label]["naive"], 4)
-    speedups = speedup_table(times, baseline="naive")
-    series = {
-        x: {STRATEGY_SERIES.get(k, k): v for k, v in row.items()
-            if k != "naive"}
-        for x, row in speedups.items()
-    }
-    return ExperimentResult(
-        figure="Fig9",
-        description="MatMul speedup vs Naive baseline "
-                    f"(total WS scaled 1/{scale.factor})",
-        series=series, unit="speedup", notes=notes)
+    return run_plan(fig9_plan(scale, total_ws_gb, block_dim))
+
+
+#: figure name -> plan factory taking a Scale (the CLI's sweep registry)
+PLANS: dict[str, _t.Callable[[Scale], FigurePlan]] = {
+    "fig1": fig1_plan,
+    "fig2": fig2_plan,
+    "fig5": fig5_plan,
+    "fig6": fig6_plan,
+    "fig7": fig7_plan,
+    "fig8": fig8_plan,
+    "fig9": fig9_plan,
+}

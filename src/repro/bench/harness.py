@@ -6,6 +6,14 @@ CI, so capacities *and* working sets shrink together — every ratio the
 results depend on (WS : HBM : DDR capacity, bandwidth ratios, per-task
 arithmetic intensity) is scale-invariant.  ``Scale.FULL`` reproduces the
 paper's literal sizes.
+
+Each figure is a :class:`FigurePlan`: a list of declarative
+:class:`~repro.exec.spec.RunSpec` simulation runs plus an ``assemble``
+function that folds their result dicts into an
+:class:`ExperimentResult`.  :func:`run_plan` executes a plan through
+the current :mod:`repro.exec.context` — serially by default, or fanned
+out over a process pool with content-addressed caching when the CLI
+(or a test) installs a parallel context.
 """
 
 from __future__ import annotations
@@ -16,7 +24,11 @@ import typing as _t
 
 from repro.units import GiB
 
-__all__ = ["Scale", "ExperimentResult", "run_trial", "speedup_table"]
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.spec import RunSpec
+
+__all__ = ["Scale", "ExperimentResult", "FigurePlan", "run_plan",
+           "run_trial", "speedup_table"]
 
 
 class Scale(enum.Enum):
@@ -68,6 +80,30 @@ class ExperimentResult:
                 if name not in names:
                     names.append(name)
         return names
+
+
+class FigurePlan(_t.NamedTuple):
+    """One figure as data: its runs, and how to fold them into a result.
+
+    ``specs`` enumerates every simulation run the figure needs;
+    ``assemble`` receives the runs' result dicts *in spec order* and
+    builds the :class:`ExperimentResult`.  Keeping enumeration separate
+    from assembly is what lets the exec engine batch, dedup, cache and
+    parallelize runs across figures without changing any figure's
+    output.
+    """
+
+    figure: str
+    specs: "list[RunSpec]"
+    assemble: _t.Callable[[_t.Sequence[_t.Mapping[str, _t.Any]]],
+                          ExperimentResult]
+
+
+def run_plan(plan: FigurePlan) -> ExperimentResult:
+    """Execute a plan under the current execution context and assemble."""
+    from repro.exec.context import execute
+
+    return plan.assemble(execute(plan.specs))
 
 
 def run_trial(build_fn: _t.Callable[[], _t.Any],

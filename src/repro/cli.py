@@ -5,6 +5,14 @@ Commands
 
 ``experiments``
     Regenerate the paper's figures (all or a subset) and print the tables.
+    ``-j/--jobs N`` fans the underlying simulation runs out over N worker
+    processes; results are cached content-addressed in ``.repro-cache/``
+    (key: canonical run spec + a fingerprint of ``src/repro``), so a
+    re-run after an unrelated edit is answered from disk.  ``--no-cache``
+    bypasses the cache, ``--cache-stats`` prints hit/miss counts to
+    stderr.  Tables are byte-identical whatever ``--jobs`` is.
+``cache``
+    Inspect (``stats``) or delete (``clear``) the on-disk result cache.
 ``stencil`` / ``matmul``
     Run one application configuration under one strategy and report
     timings plus the OOC manager summary.  ``--sanitize`` runs under the
@@ -25,14 +33,17 @@ Commands
     the placement-state protocol (rules ``REP2xx``) over the strategies
     and mover (or explicit targets); the dynamic mode runs one app under
     the happens-before race detector, exploring ``--explore-schedules N``
-    seeded event orderings and minimizing the first failure to a
-    ``(--seed, --limit)`` replay token.  ``stencil``/``matmul`` accept
-    the same ``--race`` / ``--explore-schedules`` / ``--seed`` /
-    ``--limit`` flags on a normal run.
+    seeded event orderings (``-j/--jobs`` explores seeds in parallel) and
+    minimizing the first failure to a ``(--seed, --limit)`` replay token.
+    ``stencil``/``matmul`` accept the same ``--race`` /
+    ``--explore-schedules`` / ``--seed`` / ``--limit`` flags on a normal
+    run.
 
 Examples::
 
     python -m repro experiments --figures fig1 fig8 --scale small
+    python -m repro experiments --all -j 8 --cache-stats
+    python -m repro cache stats
     python -m repro stencil --strategy multi-io --total 2GiB --block 4MiB
     python -m repro matmul --strategy single-io --working-set 1.5GiB
     python -m repro lint src/repro/apps examples
@@ -40,7 +51,7 @@ Examples::
     python -m repro stencil --metrics --format report
     python -m repro metrics --app stencil --watch --format prom
     python -m repro race --static
-    python -m repro race --app stencil --explore-schedules 8
+    python -m repro race --app stencil --explore-schedules 8 -j 4
     python -m repro stencil --race --total 256MiB --block 16MiB
 """
 
@@ -60,16 +71,6 @@ from repro.core.strategies import STRATEGIES
 from repro.units import format_size, format_time, parse_size
 
 __all__ = ["main"]
-
-_FIGURES: dict[str, _t.Callable[..., _t.Any]] = {
-    "fig1": lambda scale: exps.fig1_stream_bandwidth(),
-    "fig2": lambda scale: exps.fig2_stencil_fits_in_hbm(scale),
-    "fig5": lambda scale: exps.fig5_projections_wait(scale),
-    "fig6": lambda scale: exps.fig6_sync_vs_async(scale),
-    "fig7": lambda scale: exps.fig7_memcpy_cost(scale),
-    "fig8": lambda scale: exps.fig8_stencil_speedup(scale),
-    "fig9": lambda scale: exps.fig9_matmul_speedup(scale),
-}
 
 _SCALES = {"small": Scale.SMALL, "medium": Scale.MEDIUM, "full": Scale.FULL}
 
@@ -174,6 +175,21 @@ def _app_runner(args: argparse.Namespace, app: str) -> _t.Any:
                          block_dim=args.block_dim, **machine)
 
 
+def _app_spec_params(args: argparse.Namespace, app: str) -> dict[str, _t.Any]:
+    """The ``schedule`` RunSpec params matching :func:`_app_runner`."""
+    params: dict[str, _t.Any] = dict(
+        strategy=args.strategy, cores=args.cores,
+        mcdram=parse_size(args.mcdram), ddr=parse_size(args.ddr))
+    if app == "stencil":
+        params.update(total=parse_size(args.total),
+                      block=parse_size(args.block),
+                      iterations=args.iterations)
+    else:
+        params.update(working_set=parse_size(args.working_set),
+                      block_dim=args.block_dim)
+    return params
+
+
 def _explore_or_replay(args: argparse.Namespace, app: str) -> int | None:
     """Handle ``--explore-schedules`` / ``--seed`` schedule modes.
 
@@ -187,8 +203,17 @@ def _explore_or_replay(args: argparse.Namespace, app: str) -> int | None:
 
     runner = _app_runner(args, app)
     if schedules:
-        report = explore(runner, schedules=schedules,
-                         base_seed=seed if seed is not None else 0)
+        jobs = getattr(args, "jobs", 1)
+        if jobs > 1:
+            from repro.exec.explore import parallel_explore
+
+            report = parallel_explore(
+                app, _app_spec_params(args, app), schedules=schedules,
+                base_seed=seed if seed is not None else 0, jobs=jobs,
+                runner=runner)
+        else:
+            report = explore(runner, schedules=schedules,
+                             base_seed=seed if seed is not None else 0)
         print(report.render())
         return 1 if report.failing else 0
     outcome = run_schedule(runner, seed, limit=getattr(args, "limit", None))
@@ -248,17 +273,70 @@ def _finish_metrics(session: _t.Any, args: argparse.Namespace,
         print(f"merged Chrome trace written to {trace_out}", file=sys.stderr)
 
 
+def _progress_line(event: dict) -> None:
+    """One stderr line per completed run (stdout stays table-only)."""
+    print(f"[{event['done']}/{event['total']}] {event['status']:6s} "
+          f"{event['spec'].display()} ({event['elapsed_s']:.2f}s)",
+          file=sys.stderr)
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.exec import ResultCache, run_specs
+
     scale = _SCALES[args.scale]
-    names = args.figures or sorted(_FIGURES)
-    for name in names:
-        if name not in _FIGURES:
-            print(f"unknown figure {name!r}; choose from {sorted(_FIGURES)}",
-                  file=sys.stderr)
-            return 2
-        result = _FIGURES[name](scale)
-        print(render_experiment(result))
+    names = list(args.figures or [])
+    if args.all or not names:
+        names = sorted(exps.PLANS)
+    unknown = sorted(set(names) - set(exps.PLANS))
+    if unknown:
+        print(f"unknown figure(s) {unknown}; "
+              f"choose from {sorted(exps.PLANS)}", file=sys.stderr)
+        return 2
+    plans = [exps.PLANS[name](scale) for name in names]
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    # one batch across all requested figures: shared runs (e.g. the
+    # fig5/fig6 traced multi-io stencil) dedup to a single execution
+    specs = [spec for plan in plans for spec in plan.specs]
+    results = run_specs(specs, jobs=args.jobs, cache=cache,
+                        progress=_progress_line)
+    exit_code, idx = 0, 0
+    for plan in plans:
+        chunk = results[idx:idx + len(plan.specs)]
+        idx += len(plan.specs)
+        failed = [r for r in chunk if not r.ok]
+        if failed:
+            exit_code = 1
+            for r in failed:
+                print(f"{plan.figure}: {r.spec.display()}: {r.error}",
+                      file=sys.stderr)
+            continue
+        print(render_experiment(plan.assemble([r.result for r in chunk])))
         print()
+    if cache is not None and args.cache_stats:
+        stats = cache.session_stats()
+        print(f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+              f"{stats['stores']} store(s) in {cache.generation}",
+              file=sys.stderr)
+    return exit_code
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.exec import cache_stats, clear_cache, default_cache_root
+
+    root = args.cache_dir or default_cache_root()
+    if args.action == "clear":
+        removed = clear_cache(root)
+        print(f"removed {removed} cached result(s) from {root}")
+        return 0
+    stats = cache_stats(root)
+    print(f"cache root : {stats['root']}")
+    print(f"current gen: {stats['current']}")
+    for name, gen in sorted(stats["generations"].items()):
+        marker = " (current)" if name == stats["current"] else ""
+        print(f"  {name}: {gen['entries']} entries, "
+              f"{gen['bytes']} bytes{marker}")
+    print(f"total      : {stats['total_entries']} entries, "
+          f"{stats['total_bytes']} bytes")
     return 0
 
 
@@ -421,8 +499,29 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     p_exp = sub.add_parser("experiments", help="regenerate paper figures")
     p_exp.add_argument("--figures", nargs="*", metavar="FIG",
                        help="subset, e.g. fig1 fig8 (default: all)")
+    p_exp.add_argument("--all", action="store_true",
+                       help="run every figure (the default when --figures "
+                            "is omitted)")
     p_exp.add_argument("--scale", default="small", choices=sorted(_SCALES))
+    p_exp.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the simulation runs "
+                            "(default 1 = in-process serial)")
+    p_exp.add_argument("--no-cache", action="store_true",
+                       help="run everything fresh, bypassing .repro-cache/")
+    p_exp.add_argument("--cache-stats", action="store_true",
+                       help="print cache hit/miss counts to stderr")
+    p_exp.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache location (default: .repro-cache/ at the "
+                            "repo root)")
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache")
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache location (default: .repro-cache/ at "
+                              "the repo root)")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_st = sub.add_parser("stencil", help="run Stencil3D once")
     _add_machine_args(p_st)
@@ -497,6 +596,9 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                         metavar="N",
                         help="number of seeded schedule permutations "
                              "(0 = one FIFO run under racesan)")
+    p_race.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for seed exploration "
+                             "(with --explore-schedules)")
     p_race.add_argument("--seed", type=int, default=None,
                         help="base seed (with --explore-schedules) or "
                              "single-schedule replay seed")

@@ -1,0 +1,78 @@
+"""Process-wide execution context for figure plans.
+
+The figure functions in :mod:`repro.bench.experiments` do not take
+jobs/cache arguments — they execute their specs through the *current*
+:class:`ExecContext`.  The default context is serial and uncached
+(exactly the pre-engine behavior); the CLI installs a parallel + cached
+context around a sweep, and tests scope one with :func:`using`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing as _t
+
+from repro.errors import ExperimentError
+from repro.exec.cache import ResultCache
+from repro.exec.engine import Engine, ProgressFn, RunResult
+from repro.exec.spec import RunSpec
+
+__all__ = ["ExecContext", "get_context", "set_context", "using", "execute"]
+
+
+class ExecContext:
+    """How figure specs get executed: worker count, cache, narration."""
+
+    def __init__(self, *, jobs: int = 1,
+                 cache: "ResultCache | None" = None,
+                 progress: "ProgressFn | None" = None):
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+
+    def run(self, specs: _t.Sequence[RunSpec]) -> list[RunResult]:
+        """Run specs through an engine configured like this context."""
+        return Engine(jobs=self.jobs, cache=self.cache,
+                      progress=self.progress).run(specs)
+
+
+_current = ExecContext()
+
+
+def get_context() -> ExecContext:
+    """The context figure functions currently execute under."""
+    return _current
+
+
+def set_context(ctx: ExecContext) -> ExecContext:
+    """Install ``ctx`` as the process-wide context; returns the old one."""
+    global _current
+    previous, _current = _current, ctx
+    return previous
+
+
+@contextlib.contextmanager
+def using(ctx: ExecContext) -> _t.Iterator[ExecContext]:
+    """Scope ``ctx`` as the current context for a ``with`` block."""
+    previous = set_context(ctx)
+    try:
+        yield ctx
+    finally:
+        set_context(previous)
+
+
+def execute(specs: _t.Sequence[RunSpec]) -> list[dict]:
+    """Run specs under the current context, unwrapping result payloads.
+
+    Raises :class:`~repro.errors.ExperimentError` naming every failed
+    spec — assembly code downstream needs all values, so a partial
+    figure is an error, not a NaN.
+    """
+    results = get_context().run(specs)
+    failed = [r for r in results if not r.ok]
+    if failed:
+        lines = [f"{r.spec.display()}: {r.error}" for r in failed]
+        raise ExperimentError(
+            f"{len(failed)} of {len(results)} runs failed:\n  "
+            + "\n  ".join(lines))
+    return [_t.cast(dict, r.result) for r in results]

@@ -1,0 +1,53 @@
+"""Code fingerprint: one hash naming the current simulator sources.
+
+Cached results are only valid for the code that produced them.  The
+fingerprint is the SHA-256 over every ``*.py`` file under the installed
+``repro`` package (sorted relative path + content), so editing any
+strategy, app or sim-core file starts a fresh cache generation while
+older generations stay on disk for instant rollback re-runs.
+
+Hashing ~150 small files costs a few milliseconds and is memoized per
+process, so the engine can call it freely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+__all__ = ["code_fingerprint"]
+
+_memo: dict[str, str] = {}
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def code_fingerprint(root: "Path | str | None" = None, *,
+                     refresh: bool = False) -> str:
+    """Hex digest naming the current source tree under ``root``.
+
+    ``root`` defaults to the installed ``repro`` package directory.
+    ``refresh`` bypasses the per-process memo (tests that rewrite
+    files mid-process).
+    """
+    base = Path(root) if root is not None else _package_root()
+    memo_key = str(base)
+    if not refresh and memo_key in _memo:
+        return _memo[memo_key]
+    digest = hashlib.sha256()
+    for path in sorted(base.rglob("*.py"),
+                       key=lambda p: p.relative_to(base).as_posix()):
+        rel = path.relative_to(base).as_posix()
+        if "__pycache__" in rel:
+            continue
+        digest.update(rel.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x01")
+    result = digest.hexdigest()
+    _memo[memo_key] = result
+    return result

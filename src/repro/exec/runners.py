@@ -1,0 +1,187 @@
+"""Spec executors: the functions a worker process runs for each kind.
+
+Every executor is a module-level function (picklable across the
+``ProcessPoolExecutor`` fork) that takes a spec's ``params`` mapping
+and returns a JSON-able result dict.  All simulation state is built
+fresh inside the call, so a spec's result is a pure function of its
+params — the property both the parallel fan-out and the content cache
+rely on.
+
+:func:`execute_spec` is the pool entrypoint: it wraps the executor in
+crash isolation, returning a structured ``{"ok": False, "error": ...}``
+payload instead of letting one bad config kill the whole sweep.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+import typing as _t
+
+__all__ = ["EXECUTORS", "execute_spec"]
+
+
+def run_stream_spec(params: _t.Mapping[str, _t.Any]) -> dict:
+    """One STREAM kernel on one memory node (Figure 1 cell)."""
+    from repro.machine.knl import build_knl
+    from repro.machine.stream import run_stream
+    from repro.sim.environment import Environment
+
+    env = Environment()
+    node = build_knl(env)
+    result = run_stream(node, params["device"], kernel=params["kernel"],
+                        threads=int(params["threads"]),
+                        array_bytes=int(params["array_bytes"]))
+    return {"bandwidth": result.bandwidth}
+
+
+def run_memcpy_spec(params: _t.Mapping[str, _t.Any]) -> dict:
+    """N concurrent movers migrating equal slices (Figure 7 cell)."""
+    from repro.machine.knl import build_knl
+    from repro.mem.block import DataBlock
+    from repro.sim.environment import Environment
+
+    threads = int(params["threads"])
+    per_thread = max(int(params["total_bytes"]) // threads, 1)
+    env = Environment()
+    node = build_knl(env, mcdram_capacity=int(params["mcdram"]),
+                     ddr_capacity=int(params["ddr"]))
+    if params["direction"] == "ddr-to-hbm":
+        src, dst = node.ddr, node.hbm
+    else:
+        src, dst = node.hbm, node.ddr
+    blocks = []
+    for i in range(threads):
+        block = DataBlock(f"mig{i}", per_thread)
+        node.registry.register(block)
+        node.topology.place_block(block, src)
+        blocks.append(block)
+    done = [env.process(node.mover.move(b, dst), name=f"mv{i}")
+            for i, b in enumerate(blocks)]
+    env.run(env.all_of(done))
+    return {"elapsed": env.now}
+
+
+def _build(params: _t.Mapping[str, _t.Any]) -> _t.Any:
+    from repro.core.api import OOCRuntimeBuilder
+
+    return OOCRuntimeBuilder(
+        params["strategy"], cores=int(params["cores"]),
+        mcdram_capacity=int(params["mcdram"]),
+        ddr_capacity=int(params["ddr"]),
+        trace=bool(params.get("trace", False))).build()
+
+
+def run_stencil_spec(params: _t.Mapping[str, _t.Any]) -> dict:
+    """One Stencil3D run; traced runs add Projections-report metrics."""
+    from repro.apps.stencil3d import Stencil3D, StencilConfig
+
+    built = _build(params)
+    cfg = StencilConfig(total_bytes=int(params["total"]),
+                        block_bytes=int(params["block"]),
+                        iterations=int(params["iterations"]))
+    result = Stencil3D(built, cfg).run()
+    out = {"total_time": result.total_time,
+           "mean_iteration_time": result.mean_iteration_time,
+           "mean_kernel_time": result.mean_kernel_time}
+    if params.get("trace"):
+        from repro.trace.projections import build_report
+
+        report = build_report(built.runtime.tracer)
+        tasks_per_pe = {f"pe{pe.id}": pe.tasks_executed
+                        for pe in built.runtime.pes}
+        out["wait_fraction"] = report.mean_wait_fraction()
+        out["utilization"] = report.mean_utilization()
+        out["preprocess_per_task"] = \
+            report.mean_preprocess_per_task(tasks_per_pe)
+    return out
+
+
+def run_matmul_spec(params: _t.Mapping[str, _t.Any]) -> dict:
+    """One blocked-MatMul run (Figure 9 cell)."""
+    from repro.apps.matmul import MatMul, MatMulConfig
+
+    built = _build(params)
+    cfg = MatMulConfig.for_working_set(int(params["working_set"]),
+                                       block_dim=int(params["block_dim"]))
+    result = MatMul(built, cfg).run()
+    return {"total_time": result.total_time,
+            "mean_kernel_time": result.mean_kernel_time}
+
+
+def run_schedule_spec(params: _t.Mapping[str, _t.Any]) -> dict:
+    """One seeded schedule permutation under racesan+simsan."""
+    from repro.race.explorer import (matmul_runner, run_schedule,
+                                     stencil_runner)
+
+    machine = dict(strategy=params["strategy"], cores=int(params["cores"]),
+                   mcdram=int(params["mcdram"]), ddr=int(params["ddr"]))
+    if params["app"] == "stencil":
+        runner = stencil_runner(total=int(params["total"]),
+                                block=int(params["block"]),
+                                iterations=int(params["iterations"]),
+                                **machine)
+    else:
+        runner = matmul_runner(working_set=int(params["working_set"]),
+                               block_dim=int(params["block_dim"]),
+                               **machine)
+    seed = params.get("seed")
+    limit = params.get("limit")
+    outcome = run_schedule(runner, seed if seed is None else int(seed),
+                           limit=limit if limit is None else int(limit))
+    findings = outcome.race_findings + outcome.san_violations
+    return {"seed": outcome.seed, "limit": outcome.limit,
+            "decisions": outcome.decisions, "error": outcome.error,
+            "detail": outcome.detail,
+            "races": len(outcome.race_findings),
+            "violations": len(outcome.san_violations),
+            "tasks_completed": outcome.tasks_completed,
+            "failed": outcome.failed,
+            "rendered": outcome.render(),
+            "finding_lines": [f.render() for f in findings[:8]]}
+
+
+def run_selftest_spec(params: _t.Mapping[str, _t.Any]) -> dict:
+    """Engine-testing kind: spin, fail on demand, or echo a value."""
+    if params.get("fail"):
+        raise RuntimeError(f"selftest failure: {params.get('fail')}")
+    spin = int(params.get("spin", 0))
+    acc = 0
+    for i in range(spin):
+        acc = (acc + i * i) % 1000003
+    return {"value": params.get("value"), "spun": acc if spin else 0}
+
+
+#: spec kind -> executor; keep every entry a top-level function
+EXECUTORS: dict[str, _t.Callable[[_t.Mapping[str, _t.Any]], dict]] = {
+    "stream": run_stream_spec,
+    "memcpy": run_memcpy_spec,
+    "stencil": run_stencil_spec,
+    "matmul": run_matmul_spec,
+    "schedule": run_schedule_spec,
+    "selftest": run_selftest_spec,
+}
+
+
+def execute_spec(payload: _t.Mapping[str, _t.Any]) -> dict:
+    """Pool entrypoint: run ``{"kind", "params"}`` with crash isolation.
+
+    Always returns a structured payload — ``{"ok": True, "result", ...}``
+    or ``{"ok": False, "error", "traceback"}`` — so one failed spec
+    reports an error row instead of killing the sweep.
+    """
+    t0 = time.perf_counter()
+    try:
+        executor = EXECUTORS[payload["kind"]]
+    except KeyError:
+        return {"ok": False, "elapsed_s": 0.0,
+                "error": f"unknown spec kind {payload.get('kind')!r}",
+                "traceback": ""}
+    try:
+        result = executor(payload["params"])
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        return {"ok": False, "elapsed_s": time.perf_counter() - t0,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc()}
+    return {"ok": True, "elapsed_s": time.perf_counter() - t0,
+            "result": result}

@@ -31,19 +31,26 @@ _block_ids = count()
 
 
 class AccessIntent(enum.Enum):
-    """How a task uses a dependence block (from the ``.ci`` annotation)."""
+    """How a task uses a dependence block (from the ``.ci`` annotation).
 
-    READONLY = "readonly"
-    READWRITE = "readwrite"
-    WRITEONLY = "writeonly"
+    ``reads``/``writes`` are plain attributes rather than properties:
+    the race detector consults them per block per task, and a property
+    call there is measurable against the rest of the fast path.
+    """
 
-    @property
-    def reads(self) -> bool:
-        return self is not AccessIntent.WRITEONLY
+    READONLY = ("readonly", True, False)
+    READWRITE = ("readwrite", True, True)
+    WRITEONLY = ("writeonly", False, True)
 
-    @property
-    def writes(self) -> bool:
-        return self is not AccessIntent.READONLY
+    reads: bool
+    writes: bool
+
+    def __new__(cls, label: str, reads: bool, writes: bool) -> "AccessIntent":
+        obj = object.__new__(cls)
+        obj._value_ = label
+        obj.reads = reads
+        obj.writes = writes
+        return obj
 
 
 class BlockState(enum.Enum):

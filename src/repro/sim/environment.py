@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-import heapq
 import typing as _t
+from heapq import heappop as _heappop
+from heapq import heappush as _heappush
 from itertools import count
 
 from repro.errors import DeadlockError, SimulationError
@@ -39,6 +40,8 @@ class Environment:
     and :meth:`step`.  The fluid bandwidth model uses this to retire
     superseded "next completion" wakeups without processing them.
     """
+
+    __slots__ = ("_now", "_queue", "_seq", "_live", "_active", "_tie_break")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -97,7 +100,7 @@ class Environment:
         if self._tie_break is not None:
             seq = self._tie_break(seq)
         entry = [self._now + delay, priority, seq, event]
-        heapq.heappush(self._queue, entry)
+        _heappush(self._queue, entry)
         self._live += 1
         if _rh.tracker is not None:
             _rh.tracker.on_scheduled(event)
@@ -140,7 +143,7 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` when idle."""
         queue = self._queue
         while queue and queue[0][3] is None:
-            heapq.heappop(queue)
+            _heappop(queue)
         return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
@@ -149,7 +152,7 @@ class Environment:
         while True:
             if not queue:
                 raise SimulationError("step() on an empty event queue")
-            entry = heapq.heappop(queue)
+            entry = _heappop(queue)
             when, event = entry[0], entry[3]
             if event is not None:
                 break

@@ -41,7 +41,7 @@ class _Init(Event):
 class Process(Event):
     """A running generator coroutine inside the simulation."""
 
-    __slots__ = ("generator", "_target")
+    __slots__ = ("generator", "_target", "_send", "_throw")
 
     def __init__(self, env: Environment, generator: _t.Generator, name: str = ""):
         if not hasattr(generator, "throw"):
@@ -50,6 +50,10 @@ class Process(Event):
                 "did you forget a 'yield'?")
         super().__init__(env, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
+        # bound methods cached once: _resume runs per event on the hottest
+        # loop in the simulator, and send/throw lookups add up
+        self._send = generator.send
+        self._throw = generator.throw
         #: the event this process is currently waiting on (None if running/finished)
         self._target: Event | None = None
         env.register_process(self)
@@ -85,10 +89,10 @@ class Process(Event):
         self._target = None
         try:
             if event.ok:
-                next_event = self.generator.send(event.value)
+                next_event = self._send(event.value)
             else:
                 event.defuse()
-                next_event = self.generator.throw(event.value)
+                next_event = self._throw(event.value)
         except StopIteration as stop:
             self.env.unregister_process(self)
             self.succeed(stop.value)

@@ -27,6 +27,9 @@ class Store:
     the next item (immediately if one is queued).  Getters are served FIFO.
     """
 
+    __slots__ = ("env", "name", "_items", "_getters", "total_puts",
+                 "total_gets", "_get_name")
+
     def __init__(self, env: Environment, name: str = "store"):
         self.env = env
         self.name = name
@@ -34,6 +37,9 @@ class Store:
         self._getters: deque[Event] = deque()
         self.total_puts = 0
         self.total_gets = 0
+        # get() runs once per runtime message; formatting the event name
+        # there would dominate the fast path, so build it once
+        self._get_name = f"{name}.get"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -56,7 +62,7 @@ class Store:
             self._items.append(item)
 
     def get(self) -> Event:
-        ev = self.env.event(name=f"{self.name}.get")
+        ev = Event(self.env, name=self._get_name)
         self.total_gets += 1
         if self._items:
             item = self._items.popleft()
@@ -81,6 +87,8 @@ class Store:
 class PriorityStore(Store):
     """A store that pops the smallest item (heap order, FIFO among equals)."""
 
+    __slots__ = ("_heap", "_seq")
+
     def __init__(self, env: Environment, name: str = "pstore"):
         super().__init__(env, name=name)
         self._heap: list[tuple[_t.Any, int, _t.Any]] = []
@@ -104,7 +112,7 @@ class PriorityStore(Store):
             heapq.heappush(self._heap, (key, next(self._seq), item))
 
     def get(self) -> Event:
-        ev = self.env.event(name=f"{self.name}.get")
+        ev = Event(self.env, name=self._get_name)
         self.total_gets += 1
         if self._heap:
             item = heapq.heappop(self._heap)[2]
@@ -131,6 +139,9 @@ class Resource:
     ``request()`` yields until a slot is free; ``release()`` frees one.
     """
 
+    __slots__ = ("env", "name", "capacity", "_in_use", "_waiters",
+                 "_req_name")
+
     def __init__(self, env: Environment, capacity: int = 1, name: str = "resource"):
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
@@ -139,6 +150,7 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiters: deque[Event] = deque()
+        self._req_name = f"{name}.request"
 
     @property
     def in_use(self) -> int:
@@ -153,7 +165,7 @@ class Resource:
         return len(self._waiters)
 
     def request(self) -> Event:
-        ev = self.env.event(name=f"{self.name}.request")
+        ev = Event(self.env, name=self._req_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed()

@@ -36,6 +36,9 @@ MODULES = [
     "repro.metrics", "repro.metrics.hooks", "repro.metrics.instruments",
     "repro.metrics.registry", "repro.metrics.recorder",
     "repro.metrics.export", "repro.metrics.bind", "repro.metrics.session",
+    "repro.exec", "repro.exec.spec", "repro.exec.fingerprint",
+    "repro.exec.cache", "repro.exec.runners", "repro.exec.engine",
+    "repro.exec.context", "repro.exec.explore",
     "repro.trace", "repro.bench",
 ]
 
