@@ -1,4 +1,4 @@
-"""Simulation-core microbenchmark: incremental vs full fluid solver.
+"""Simulation-core microbenchmark: incremental/vectorized vs full solver.
 
 Measures wall-clock of the event core + fluid model on two scenarios and
 records the trajectory in ``BENCH_simcore.json`` (see
@@ -102,21 +102,27 @@ def run_event_churn(*, pes: int = PES, rounds: int = 150) -> tuple[float, int]:
     res = Resource(env, capacity=32, name="slots")
 
     def worker(store: Store):
+        # bound methods hoisted out of the loop, same as the runtime's own
+        # PE loops — the scenario measures the event core, not LOAD_ATTR
+        get, request = store.get, res.request
+        timeout, release = env.timeout, res.release
         while True:
-            item = yield store.get()
+            item = yield get()
             if item is None:
                 return
-            yield res.request()
-            yield env.timeout(1e-6)
-            res.release()
+            yield request()
+            yield timeout(1e-6)
+            release()
 
     def feeder():
+        puts = [store.put for store in stores]
+        timeout = env.timeout
         for r in range(rounds):
-            for store in stores:
-                store.put(r)
-            yield env.timeout(1e-5)
-        for store in stores:
-            store.put(None)
+            for put in puts:
+                put(r)
+            yield timeout(1e-5)
+        for put in puts:
+            put(None)
 
     for store in stores:
         env.process(worker(store), name=f"w.{store.name}")
@@ -131,17 +137,30 @@ def _measure(run_fn, solver: str) -> dict:
     return {"wall_s": elapsed, "sim_time_s": sim_time, "solves": solves}
 
 
+#: raised floors (this PR's event-core batching + inlining pass): the
+#: contention ratio is machine-independent; the churn floor is absolute
+#: but carries >2x headroom over the measured ~430k ops/s — the PR 5
+#: baseline recorded ~143k on the same class of machine
+CONTENTION_FLOOR = 3.0
+EVENT_CHURN_FLOOR_OPS = 200e3
+
+
 def test_simcore_regression() -> None:
-    """Record BENCH_simcore.json; assert the tentpole's >=2x on contention."""
+    """Record BENCH_simcore.json; assert the raised contention/churn floors."""
     metrics: dict[str, dict[str, float]] = {}
 
     full = _measure(run_contention, "full")
     inc = _measure(run_contention, "incremental")
-    # identical simulated timelines (same final instant)
+    vec = _measure(run_contention, "vectorized")
+    # identical simulated timelines (same final instant); the vectorized
+    # kernel must match the scalar incremental one *exactly*, not approx
     assert inc["sim_time_s"] == pytest.approx(full["sim_time_s"], rel=1e-9)
+    assert vec["sim_time_s"] == inc["sim_time_s"]
+    assert vec["solves"] == inc["solves"]
     contention_speedup = full["wall_s"] / inc["wall_s"]
     metrics["contention_64pe"] = {
         "full_s": full["wall_s"], "incremental_s": inc["wall_s"],
+        "vectorized_s": vec["wall_s"],
         "speedup": contention_speedup,
         "full_solves": full["solves"], "incremental_solves": inc["solves"],
         "sim_time_s": inc["sim_time_s"],
@@ -157,12 +176,15 @@ def test_simcore_regression() -> None:
         "sim_time_s": inc["sim_time_s"],
     }
 
+    # best-of-7: the ~25ms scenario is short enough that scheduler noise
+    # dominates a 2-repeat best; the floor below still has 2x headroom
     churn_elapsed, (churn_sim, churn_ops) = best_wall_time(
-        run_event_churn, repeats=2)
+        run_event_churn, repeats=7)
+    churn_ops_per_s = churn_ops / churn_elapsed
     metrics["event_churn"] = {
         "wall_s": churn_elapsed,
         "ops": churn_ops,
-        "ops_per_s": churn_ops / churn_elapsed,
+        "ops_per_s": churn_ops_per_s,
         "sim_time_s": churn_sim,
     }
 
@@ -178,10 +200,13 @@ def test_simcore_regression() -> None:
             print(f"  {scenario}: {row['wall_s']*1e3:.1f}ms "
                   f"({row['ops_per_s']/1e3:.0f}k ops/s)")
 
-    # The tentpole's acceptance bar: >=2x on the 64-PE contention scenario.
-    assert contention_speedup >= 2.0, (
+    assert contention_speedup >= CONTENTION_FLOOR, (
         f"incremental solver only {contention_speedup:.2f}x faster on the "
-        f"64-PE contention scenario (wanted >=2x)")
+        f"64-PE contention scenario (wanted >={CONTENTION_FLOOR}x)")
+    assert churn_ops_per_s >= EVENT_CHURN_FLOOR_OPS, (
+        f"event churn at {churn_ops_per_s / 1e3:.0f}k ops/s, below the "
+        f"{EVENT_CHURN_FLOOR_OPS / 1e3:.0f}k floor (PR 5 recorded ~143k; "
+        "the batched drain loop should clear 400k on the same machine)")
 
 
 def test_solvers_agree_on_solve_counts() -> None:
@@ -198,6 +223,8 @@ if __name__ == "__main__":  # pragma: no cover - manual run convenience
                      ("shared_link_movers", run_shared_link_movers)):
         f = _measure(fn, "full")
         i = _measure(fn, "incremental")
+        v = _measure(fn, "vectorized")
         print(f"{name}: full {f['wall_s']:.3f}s incremental "
-              f"{i['wall_s']:.3f}s  {f['wall_s']/i['wall_s']:.1f}x",
+              f"{i['wall_s']:.3f}s ({f['wall_s']/i['wall_s']:.1f}x) "
+              f"vectorized {v['wall_s']:.3f}s",
               file=sys.stderr)

@@ -52,7 +52,7 @@ class Cluster:
     def __init__(self, n_nodes: int, *, fabric: FabricConfig | None = None,
                  builder_factory: _t.Callable[[], OOCRuntimeBuilder]
                  | None = None,
-                 fluid_solver: str = "incremental",
+                 fluid_solver: str | None = None,
                  **builder_kwargs: _t.Any):
         if n_nodes < 1:
             raise ConfigError("a cluster needs at least one node")

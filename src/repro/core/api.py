@@ -71,7 +71,7 @@ class OOCRuntimeBuilder:
                  trace: bool = True,
                  strategy_kwargs: dict[str, _t.Any] | None = None,
                  machine_config: MachineConfig | None = None,
-                 fluid_solver: str = "incremental"):
+                 fluid_solver: str | None = None):
         #: explicit machine description; overrides the KNL knobs when set
         #: (e.g. :func:`repro.config.nvm_dram_config`)
         self.machine_config = machine_config
@@ -89,7 +89,9 @@ class OOCRuntimeBuilder:
         self.message_latency = message_latency
         self.trace = trace
         self.strategy_kwargs = strategy_kwargs or {}
-        #: fluid bandwidth solver: "incremental" (fast) or "full" (oracle)
+        #: fluid bandwidth solver: "incremental" (fast), "vectorized"
+        #: (numpy kernel) or "full" (oracle); None defers to
+        #: repro.sim.fluid.default_solver() — i.e. $REPRO_SOLVER
         self.fluid_solver = fluid_solver
 
     def build(self) -> BuiltRuntime:

@@ -8,6 +8,13 @@ older generations stay on disk for instant rollback re-runs.
 
 Hashing ~150 small files costs a few milliseconds and is memoized per
 process, so the engine can call it freely.
+
+Runtime configuration that changes simulator behaviour without touching
+source is folded in too: the default fluid solver (``$REPRO_SOLVER``)
+selects a different rate kernel, so runs under different solvers hash to
+different generations and can never serve each other stale tables.  (The
+solvers are *supposed* to produce identical results — but the cache must
+not assume what the equivalence tests exist to verify.)
 """
 
 from __future__ import annotations
@@ -34,11 +41,18 @@ def code_fingerprint(root: "Path | str | None" = None, *,
     ``refresh`` bypasses the per-process memo (tests that rewrite
     files mid-process).
     """
+    from repro.sim.fluid import default_solver
+
     base = Path(root) if root is not None else _package_root()
-    memo_key = str(base)
+    # the memo key carries the solver: tests monkeypatch $REPRO_SOLVER
+    # mid-process and must see a fresh generation immediately
+    solver = default_solver()
+    memo_key = f"{base}\x00{solver}"
     if not refresh and memo_key in _memo:
         return _memo[memo_key]
     digest = hashlib.sha256()
+    digest.update(f"fluid_solver={solver}".encode())
+    digest.update(b"\x01")
     for path in sorted(base.rglob("*.py"),
                        key=lambda p: p.relative_to(base).as_posix()):
         rel = path.relative_to(base).as_posix()

@@ -87,6 +87,10 @@ _ALL = [
     Rule("SAN207", Severity.ERROR, "refcount-underflow",
          "release() on a block whose refcount is already zero — a task "
          "released dependences it never retained"),
+    Rule("SAN208", Severity.ERROR, "event-queue-conservation",
+         "the environment's live-event counter disagrees with the entries "
+         "actually stored at quiescence — the event core lost or "
+         "double-counted a scheduled event"),
     # -- placement-state model checker (repro.race.model_checker) ------------
     Rule("REP200", Severity.ERROR, "raw-state-assignment",
          "a BlockState is assigned directly to .state outside DataBlock — "

@@ -19,7 +19,10 @@ sanitizer is an opt-in observer over the instrumented hook points in
 * **non-quiescent shutdown** — pending wait/run-queue entries or
   in-flight moves at exit (SAN206);
 * **refcount underflow** — releasing a block that holds no references
-  (SAN207).
+  (SAN207);
+* **event-queue conservation drift** — the environment's live-entry
+  counter disagreeing with the entries actually stored at quiescence,
+  i.e. the event core lost or double-counted an event (SAN208).
 
 Usage::
 
@@ -280,6 +283,22 @@ class SimSanitizer:
         if drain:
             mgr.env.run()
         before = len(self.violations)
+        env = mgr.env
+        counter = getattr(env, "_live", None)
+        if counter is not None and hasattr(env, "live_entry_count"):
+            # Event-queue conservation: every schedule() incremented _live,
+            # every dispatch/cancel decremented it, so at quiescence the
+            # counter must equal the untriggered entries actually stored.
+            # Checked only here — mid-batch the drain loop lags the counter
+            # deliberately (see Environment._drain_all).
+            stored = env.live_entry_count()
+            if counter != stored:
+                self._report(
+                    "SAN208",
+                    f"event-queue conservation drift: env._live={counter} "
+                    f"but {stored} live entr(ies) stored — the event core "
+                    "lost or double-counted an event",
+                    counted=counter, stored=stored)
         for block in mgr.registry:
             if block.moving:
                 since = self._moving_since.get(block.bid)

@@ -28,7 +28,7 @@ __all__ = ["build_machine", "build_knl"]
 def build_machine(env: Environment, config: MachineConfig, *,
                   allocator_cls: type = PagedAllocator,
                   allocator_kwargs: dict[str, _t.Any] | None = None,
-                  fluid_solver: str = "incremental") -> MachineNode:
+                  fluid_solver: str | None = None) -> MachineNode:
     """Build a node from an explicit config (flat-mode semantics)."""
     node = MachineNode(env, config, allocator_cls=allocator_cls,
                        allocator_kwargs=allocator_kwargs,
@@ -46,7 +46,7 @@ def build_knl(env: Environment, *,
               hybrid_cache_fraction: float = 0.5,
               allocator_cls: type = PagedAllocator,
               allocator_kwargs: dict[str, _t.Any] | None = None,
-              fluid_solver: str = "incremental") -> MachineNode:
+              fluid_solver: str | None = None) -> MachineNode:
     """Build the paper's KNL node in the requested mode.
 
     In CACHE mode the returned node has only the DDR4 device (numa node 0)

@@ -55,7 +55,7 @@ class MachineNode:
     def __init__(self, env: Environment, config: MachineConfig, *,
                  allocator_cls: type = PagedAllocator,
                  allocator_kwargs: dict[str, _t.Any] | None = None,
-                 fluid_solver: str = "incremental"):
+                 fluid_solver: str | None = None):
         self.env = env
         self.config = config
         self.network = FluidNetwork(env, solver=fluid_solver)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.errors import SimulationError
+from repro.race import hooks as _rh
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.environment import Environment
@@ -47,7 +48,7 @@ class Event:
     """
 
     __slots__ = ("env", "name", "_cb0", "_cbs", "_value", "_ok", "_defused",
-                 "_processed")
+                 "_processed", "_cancelled")
 
     def __init__(self, env: "Environment", name: str = ""):
         self.env = env
@@ -58,10 +59,15 @@ class Event:
         self._cbs: list[_t.Callable[[Event], None]] | None = None
         self._value: _t.Any = PENDING
         self._ok = True
-        # A failed event whose exception was delivered to at least one waiter
-        # is "defused"; undefused failures surface when the loop drains.
-        self._defused = False
+        # NOTE: the ``_defused`` slot is *not* initialised here.  It is only
+        # ever read behind a ``not _ok`` short-circuit, and every path that
+        # clears ``_ok`` (fail(), the ProcessKilled branch of
+        # Process._resume) writes it first — skipping the store here saves
+        # a measurable slice of event-alloc cost on the hot paths.
         self._processed = False
+        #: set by Environment.cancel(); the queue drain loops skip the event
+        #: in place instead of paying a per-entry wrapper allocation
+        self._cancelled = False
 
     # -- state ------------------------------------------------------------
 
@@ -107,7 +113,17 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, delay=delay)
+        # inlined Environment.schedule() fast path: succeed-at-now is the
+        # single hottest call in the simulator (every store handoff,
+        # resource grant and process resumption lands here)
+        env = self.env
+        if delay == 0.0 and env._tie_break is None:
+            env._agenda_normal.append(self)
+            env._live += 1
+            if _rh.tracker is not None:
+                _rh.tracker.on_scheduled(self)
+        else:
+            env.schedule(self, delay=delay)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -116,6 +132,8 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if not hasattr(self, "_defused"):  # lazily initialised; see __init__
+            self._defused = False
         self._ok = False
         self._value = exception
         self.env.schedule(self)
@@ -165,14 +183,23 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: _t.Any = None):
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay {delay!r}")
-        # constant name: formatting the delay into every name cost ~10%
-        # of timeout creation on the hot path; __repr__ still shows it
-        super().__init__(env, name="timeout")
-        self.delay = delay
+        if delay < 0 or delay != delay:
+            raise SimulationError(f"bad timeout delay {delay!r}")
+        # flattened Event.__init__ (no super() chain): timeouts are created
+        # once per PE-loop iteration, and the extra call frame plus the
+        # PENDING round trip through succeed() were measurable.  The name
+        # is constant; __repr__ still shows the delay.  NOTE: the hot
+        # construction path is Environment.timeout(), which clones this
+        # body inline — keep the two in sync.
+        self.env = env
+        self.name = "timeout"
+        self._cb0 = None
+        self._cbs = None
         self._ok = True
         self._value = value
+        self._processed = False
+        self._cancelled = False
+        self.delay = delay
         env.schedule(self, delay=delay)
 
     def __repr__(self) -> str:

@@ -31,12 +31,35 @@ Two solvers are available (``solver=`` constructor flag):
 
 * ``"full"`` — the original eager solver: every change recomputes every
   flow on every link immediately.  Kept as the cross-check oracle; the
-  incremental solver must produce identical simulated timelines.
+  other solvers must produce identical simulated timelines.
+
+* ``"vectorized"`` — incremental scheduling with a numpy progressive-
+  filling kernel for large components: flows are array columns, links are
+  rows, and each filling round computes the bottleneck share, the capped
+  set and the saturated set as masked array reductions instead of python
+  loops.  The freeze *order* and the per-link residual subtraction order
+  replicate the scalar kernel exactly, so the computed rates are
+  bit-identical to ``"incremental"`` — only the per-round share/mask
+  arithmetic is vectorized (reductions over IEEE doubles are exact and
+  order-independent for min/max and elementwise compare).  Small
+  components fall back to the scalar kernel, which is identical by
+  construction.
+
+The epsilon/wake contract: a flow whose ``remaining`` falls to
+``_EPSILON_BYTES`` or below — or whose ETA is too small for the event
+clock to represent an instant strictly after ``now`` — is force-completed
+at the current instant by :meth:`FluidNetwork._schedule_wake` instead of
+being rescheduled.  Accumulated float error can therefore never produce a
+zero-progress wake loop, and ``finished_at`` is never later than the
+true completion instant.  Rate-zero flows (all links saturated by
+higher-weight traffic, or ``max_rate == 0``) are parked with no wake at
+all; the next ``_mark_dirty`` re-solve picks them back up.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import typing as _t
 from itertools import count
 
@@ -44,14 +67,40 @@ from repro.errors import SimulationError
 from repro.sim.environment import Environment
 from repro.sim.events import Event
 
-__all__ = ["Link", "Flow", "FluidNetwork", "SOLVERS"]
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a project dependency
+    _np = None
+
+__all__ = ["Link", "Flow", "FluidNetwork", "SOLVERS", "default_solver"]
 
 #: Flows with fewer remaining bytes than this are considered complete.
-#: (Float progress integration leaves sub-byte residue.)
+#: (Float progress integration leaves sub-byte residue.)  One shared
+#: tolerance: start_flow's instant-complete check, _advance's completion
+#: sweep and _schedule_wake's force-completion all compare against it.
 _EPSILON_BYTES = 1e-3
 
 #: recognised ``FluidNetwork(solver=...)`` values
-SOLVERS = ("incremental", "full")
+SOLVERS = ("incremental", "full", "vectorized")
+
+#: below this flows*links size the vectorized solver uses the scalar
+#: kernel — numpy array setup costs more than it saves on tiny components
+_VEC_MIN_CELLS = 32
+
+
+def default_solver() -> str:
+    """The solver used when ``FluidNetwork(solver=None)``.
+
+    Reads ``$REPRO_SOLVER`` (CI runs the tier-1 suite once with
+    ``REPRO_SOLVER=vectorized``), defaulting to ``"incremental"``.  The
+    exec-engine result cache folds this into its code fingerprint, so
+    flipping the variable can never serve stale cached tables.
+    """
+    solver = os.environ.get("REPRO_SOLVER", "incremental")
+    if solver not in SOLVERS:
+        raise SimulationError(
+            f"$REPRO_SOLVER={solver!r} is not one of {SOLVERS}")
+    return solver
 
 
 class Link:
@@ -132,13 +181,18 @@ class Flow:
 class FluidNetwork:
     """The set of links plus the progressive-filling rate solver."""
 
-    def __init__(self, env: Environment, *, solver: str = "incremental"):
+    def __init__(self, env: Environment, *, solver: str | None = None):
+        if solver is None:
+            solver = default_solver()
         if solver not in SOLVERS:
             raise SimulationError(
                 f"unknown fluid solver {solver!r}; choose from {SOLVERS}")
         self.env = env
         self.solver = solver
-        self._incremental = solver == "incremental"
+        # "vectorized" shares the incremental dirty/flush scheduling and
+        # swaps only the rate kernel, so its timelines match by construction
+        self._incremental = solver != "full"
+        self._vectorized = solver == "vectorized"
         self._links: dict[str, Link] = {}
         #: active flows as an insertion-ordered set (dict keys)
         self._flows: dict[Flow, None] = {}
@@ -149,8 +203,10 @@ class FluidNetwork:
         self._dirty: set[Link] = set()
         #: pending same-instant flush event, if any (incremental)
         self._flush_event: Event | None = None
-        #: heap entry of the pending "next completion" wakeup, if any
-        self._wake_entry: list | None = None
+        #: schedule() token of the pending "next completion" wakeup, if any
+        #: (an Event in the batched event loop, a heap entry under a
+        #: schedule-explorer tie-breaker; env.cancel accepts either)
+        self._wake_entry: object | None = None
         #: total bytes moved to completion through this network
         self.completed_bytes = 0.0
         self.completed_flows = 0
@@ -185,10 +241,13 @@ class FluidNetwork:
     def start_flow(self, nbytes: float, links: _t.Sequence[Link | str],
                    weight: float = 1.0, max_rate: float = math.inf) -> Flow:
         """Begin a transfer; returns the Flow whose ``.done`` can be awaited."""
-        if nbytes < 0:
+        if not nbytes >= 0:  # rejects negatives and NaN in one comparison
             raise SimulationError(f"flow size must be >= 0, got {nbytes!r}")
-        if weight <= 0:
+        if not weight > 0:
             raise SimulationError(f"flow weight must be > 0, got {weight!r}")
+        if not max_rate >= 0:
+            raise SimulationError(
+                f"flow max_rate must be >= 0, got {max_rate!r}")
         resolved = tuple(self.link(l) if isinstance(l, str) else l for l in links)
         if not resolved and nbytes > 0:
             raise SimulationError("a non-empty flow needs at least one link")
@@ -212,10 +271,21 @@ class FluidNetwork:
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
-        """Abort an in-flight flow; its ``done`` event fails."""
+        """Abort an in-flight flow; its ``done`` event fails.
+
+        Idempotent: cancelling a flow that already finished, was already
+        cancelled, or was never started here is a no-op — including the
+        race where the flow reaches zero bytes at the *exact* cancel
+        instant (``_advance`` below may complete it, in which case its
+        ``done`` already succeeded and must not be failed on top).
+        """
         if flow not in self._flows:
             return
         self._advance()
+        if flow not in self._flows:
+            # _advance() integrated the final dt and completed the flow at
+            # this very instant: it finished before the cancel landed.
+            return
         self._detach(flow)
         flow.finished_at = self.env.now
         exc = SimulationError(f"flow #{flow.fid} cancelled")
@@ -256,14 +326,23 @@ class FluidNetwork:
             return
         touched: list[Link] = []
         for flow in sorted(finished, key=lambda f: f.fid):
-            self._detach(flow)
-            flow.finished_at = now
-            self.completed_bytes += flow.total
-            self.completed_flows += 1
             touched.extend(flow.links)
-            flow.done.succeed(flow)
+            self._complete(flow, now)
         if self._incremental:
             self._mark_dirty(touched)
+
+    def _complete(self, flow: Flow, now: float) -> None:
+        """Finish a flow: detach, stamp, count, fire ``done``.
+
+        Shared by _advance's completion sweep and _schedule_wake's
+        sub-epsilon force-completion so the two paths cannot drift.
+        """
+        self._detach(flow)
+        flow.remaining = 0.0
+        flow.finished_at = now
+        self.completed_bytes += flow.total
+        self.completed_flows += 1
+        flow.done.succeed(flow)
 
     # -- incremental bookkeeping ---------------------------------------------
 
@@ -333,6 +412,17 @@ class FluidNetwork:
         alongside its links.
         """
         self.solves += 1
+        if self._vectorized and _np is not None:
+            flows_l = list(flows)
+            if len(flows_l) > 1:
+                links_l = list(links)
+                if len(flows_l) * len(links_l) >= _VEC_MIN_CELLS:
+                    self._solve_vectorized(flows_l, links_l)
+                    return
+        self._solve_scalar(flows, links)
+
+    def _solve_scalar(self, flows: _t.Iterable[Flow],
+                      links: _t.Iterable[Link]) -> None:
         unfrozen = dict.fromkeys(flows)
         if len(unfrozen) == 1:
             # Lone-flow fast path (the common case for a solitary mover):
@@ -408,6 +498,105 @@ class FluidNetwork:
                     flow._rate = bottleneck_share * flow.weight
                 break
 
+    def _solve_vectorized(self, flows_l: list[Flow],
+                          links_l: list[Link]) -> None:
+        """Progressive filling with the per-round reductions as numpy ops.
+
+        Flows are array columns, links are rows.  Each round the bottleneck
+        share, the capped-flow mask and the saturated-link mask come out of
+        masked array arithmetic; freezing still walks the matched flows in
+        the scalar kernel's exact order, subtracting each frozen flow from
+        its links one at a time, so every float in ``residual`` /
+        ``live_weight`` sees the same operation sequence as the scalar
+        kernel and the resulting rates are bit-identical.  (Elementwise
+        divides/multiplies over IEEE doubles match python float ops
+        exactly, and min reductions are exact regardless of order; only
+        *accumulation* order matters, which is why the subtractions stay
+        sequential per flow.)
+        """
+        np = _np
+        m = len(links_l)
+        link_idx = {link: j for j, link in enumerate(links_l)}
+        flow_idx = {f: i for i, f in enumerate(flows_l)}
+        weights = [f.weight for f in flows_l]
+        caps_v = np.array([f.max_rate for f in flows_l])
+        weights_v = np.array(weights)
+        # cap/weight ratios: each is the same lone IEEE division the scalar
+        # kernel performs on demand, so precomputing cannot change bits
+        with np.errstate(invalid="ignore"):  # inf/inf -> nan, never selected
+            ratios_v = caps_v / weights_v
+        cols = [[link_idx[link] for link in f.links] for f in flows_l]
+        residual = np.array([link.capacity for link in links_l])
+        live_weight = np.empty(m)
+        for j, link in enumerate(links_l):
+            acc = 0.0  # same left-to-right accumulation as the scalar sum()
+            for f in link.flows:
+                acc += f.weight
+            live_weight[j] = acc
+        for f in flows_l:
+            f._rate = 0.0
+        weight_floor = 1e-9 * max(weights)
+        unfrozen = np.ones(len(flows_l), dtype=bool)
+        n_left = len(flows_l)
+
+        with np.errstate(divide="ignore"):
+            while n_left:
+                active = live_weight > weight_floor
+                shares = np.full(m, math.inf)
+                np.divide(np.maximum(residual, 0.0), live_weight,
+                          out=shares, where=active)
+                bottleneck_share = float(shares.min())
+                capped_m = unfrozen & (caps_v < bottleneck_share * weights_v)
+                if capped_m.any():
+                    tightest = float(ratios_v[capped_m].min())
+                    batch_m = capped_m & (ratios_v <= tightest * (1 + 1e-12))
+                    # nonzero() ascends = flows_l order = the scalar
+                    # kernel's insertion-ordered unfrozen iteration
+                    for i in np.nonzero(batch_m)[0]:
+                        f = flows_l[i]
+                        rate = f.max_rate
+                        f._rate = rate
+                        w = f.weight
+                        for j in cols[i]:
+                            residual[j] -= rate
+                            live_weight[j] -= w
+                    unfrozen &= ~batch_m
+                    n_left = int(unfrozen.sum())
+                    continue
+                if not math.isfinite(bottleneck_share):
+                    for i in np.nonzero(unfrozen)[0]:
+                        f = flows_l[i]
+                        f._rate = (f.max_rate if math.isfinite(f.max_rate)
+                                   else 0.0)
+                    break
+                # shares is still current: nothing froze since it was
+                # computed, exactly like the scalar kernel's re-division
+                sat_m = active & (
+                    shares <= bottleneck_share * (1 + 1e-12) + 1e-18)
+                froze_any = False
+                # link-major freeze order over ascending link rows matches
+                # the scalar walk over residual's insertion order; within a
+                # link, flows freeze in link.flows insertion order
+                for j in np.nonzero(sat_m)[0]:
+                    for f in links_l[j].flows:
+                        i = flow_idx[f]
+                        if not unfrozen[i]:
+                            continue
+                        rate = bottleneck_share * f.weight
+                        f._rate = rate
+                        unfrozen[i] = False
+                        froze_any = True
+                        w = f.weight
+                        for jj in cols[i]:
+                            residual[jj] -= rate
+                            live_weight[jj] -= w
+                if not froze_any:  # pragma: no cover - numeric safety valve
+                    for i in np.nonzero(unfrozen)[0]:
+                        f = flows_l[i]
+                        f._rate = bottleneck_share * f.weight
+                    break
+                n_left = int(unfrozen.sum())
+
     # -- completion scheduling --------------------------------------------------
 
     def _recompute_and_reschedule(self) -> None:
@@ -416,13 +605,43 @@ class FluidNetwork:
         self._schedule_wake()
 
     def _schedule_wake(self) -> None:
-        """(Re-)arm the next-completion wakeup from current rates."""
+        """(Re-)arm the next-completion wakeup from current rates.
+
+        Two guard rails before any wake is scheduled:
+
+        * a flow whose ``remaining`` already sits at or below
+          ``_EPSILON_BYTES``, or whose ETA is so small that
+          ``now + eta == now`` in float, is force-completed *now* — a wake
+          scheduled for such a flow would fire at the same instant with
+          ``dt == 0``, make no progress, and re-arm itself forever;
+        * rate-zero flows contribute no horizon: when every flow is
+          rate-zero (starved or ``max_rate == 0``) no wake is scheduled at
+          all, and the flow parks until the next ``_mark_dirty`` re-solve
+          changes its rate.
+        """
         if self._wake_entry is not None:
             self.env.cancel(self._wake_entry)
             self._wake_entry = None
+        now = self.env.now
+        finished = [flow for flow in self._flows
+                    if flow.remaining <= _EPSILON_BYTES
+                    or (flow._rate > 0.0
+                        and now + flow.remaining / flow._rate <= now)]
+        if finished:
+            touched: list[Link] = []
+            for flow in sorted(finished, key=lambda f: f.fid):
+                touched.extend(flow.links)
+                self._complete(flow, now)
+            if self._incremental:
+                # the departures free capacity at this instant; the flush
+                # re-solves and re-enters here with the survivors
+                self._mark_dirty(touched)
+            else:
+                self._recompute_and_reschedule()
+            return
         horizon = math.inf
         for flow in self._flows:
-            if flow._rate > 0:
+            if flow._rate > 0.0:
                 candidate = flow.remaining / flow._rate
                 if candidate < horizon:
                     horizon = candidate
@@ -431,7 +650,7 @@ class FluidNetwork:
         wake = Event(self.env, name="fluid.wake")
         wake._ok = True
         wake._value = None
-        self._wake_entry = self.env.schedule(wake, delay=max(horizon, 0.0))
+        self._wake_entry = self.env.schedule(wake, delay=horizon)
         wake.add_callback(self._on_wake)
 
     def _on_wake(self, _event: Event) -> None:

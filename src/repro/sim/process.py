@@ -41,7 +41,7 @@ class _Init(Event):
 class Process(Event):
     """A running generator coroutine inside the simulation."""
 
-    __slots__ = ("generator", "_target", "_send", "_throw")
+    __slots__ = ("generator", "_target", "_send", "_throw", "_resume_cb")
 
     def __init__(self, env: Environment, generator: _t.Generator, name: str = ""):
         if not hasattr(generator, "throw"):
@@ -51,13 +51,16 @@ class Process(Event):
         super().__init__(env, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
         # bound methods cached once: _resume runs per event on the hottest
-        # loop in the simulator, and send/throw lookups add up
+        # loop in the simulator, and send/throw lookups add up.  The bound
+        # _resume itself is cached too — ``self._resume`` allocates a fresh
+        # method object per access, once per simulated event otherwise
         self._send = generator.send
         self._throw = generator.throw
+        self._resume_cb = self._resume
         #: the event this process is currently waiting on (None if running/finished)
         self._target: Event | None = None
         env.register_process(self)
-        _Init(env).add_callback(self._resume)
+        _Init(env).add_callback(self._resume_cb)
 
     @property
     def is_alive(self) -> bool:
@@ -82,22 +85,26 @@ class Process(Event):
     # -- driving the generator ------------------------------------------------
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        # direct slot access throughout: this callback runs once per event
+        # on the hottest loop in the simulator, and the property layer
+        # (is_alive / ok / value / defuse) costs a measurable fraction
+        if self._value is not PENDING:
             return
         if _rh.tracker is not None:
             _rh.tracker.on_resume(self, event)
-        self._target = None
         try:
-            if event.ok:
-                next_event = self._send(event.value)
+            if event._ok:
+                next_event = self._send(event._value)
             else:
-                event.defuse()
-                next_event = self._throw(event.value)
+                event._defused = True
+                next_event = self._throw(event._value)
         except StopIteration as stop:
+            self._target = None
             self.env.unregister_process(self)
             self.succeed(stop.value)
             return
         except ProcessKilled as killed:
+            self._target = None
             self.env.unregister_process(self)
             self._ok = False
             self._value = killed
@@ -105,16 +112,30 @@ class Process(Event):
             self.env.schedule(self)
             return
         except BaseException as exc:
+            self._target = None
             self.env.unregister_process(self)
             self.fail(exc)
             return
 
-        if not isinstance(next_event, Event):
+        # Yield-target validation rides on the slot accesses themselves: a
+        # non-Event (no _cb0/_processed slots) raises AttributeError, turned
+        # into the diagnostic below — the valid path pays no isinstance
+        # call.  Yielding an event bound to a *different* Environment is
+        # not detected (same as simpy): processes and their events must
+        # share one environment.
+        try:
+            self._target = next_event
+            # inlined add_callback() single-waiter branch (the ~universal
+            # case: the yielded event has no other waiter yet).  An
+            # unprocessed event with _cb0 unset cannot have overflow
+            # callbacks either — add_callback always fills _cb0 first and
+            # only processing clears it — so _cbs needs no check here.
+            if next_event._cb0 is None and not next_event._processed:
+                next_event._cb0 = self._resume_cb
+            else:
+                next_event.add_callback(self._resume_cb)
+        except AttributeError:
+            self._target = None
             raise SimulationError(
                 f"process {self.name!r} yielded {next_event!r}; processes may "
-                "only yield Event instances")
-        if next_event.env is not self.env:
-            raise SimulationError(
-                f"process {self.name!r} yielded an event from another environment")
-        self._target = next_event
-        next_event.add_callback(self._resume)
+                "only yield Event instances") from None

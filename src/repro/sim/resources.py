@@ -15,9 +15,15 @@ from itertools import count
 from repro.errors import SimulationError
 from repro.race import hooks as _rh
 from repro.sim.environment import Environment
-from repro.sim.events import Event
+from repro.sim.events import PENDING, Event
 
 __all__ = ["Store", "PriorityStore", "Resource"]
+
+# Store.get/Resource.request run once per runtime message; cloning
+# Event.__init__ inline there (as Environment.timeout does for Timeout)
+# saves the constructor call frame.  Keep in sync with Event.__init__ —
+# note the deliberately uninitialised ``_defused`` slot.
+_new_event = Event.__new__
 
 
 class Store:
@@ -52,7 +58,19 @@ class Store:
     def put(self, item: _t.Any) -> None:
         self.total_puts += 1
         if self._getters:
-            self._getters.popleft().succeed(item)
+            # inlined Event.succeed() minus its already-triggered guard: a
+            # parked getter is untriggered by construction.  put() runs
+            # once per runtime message; the call layers were measurable.
+            ev = self._getters.popleft()
+            ev._value = item
+            env = ev.env
+            if env._tie_break is None:
+                env._agenda_normal.append(ev)
+                env._live += 1
+                if _rh.tracker is not None:
+                    _rh.tracker.on_scheduled(ev)
+            else:
+                env.schedule(ev)
         else:
             # buffered handoff: the later get() succeeds from the getter's
             # own context, so without this hook the put->get causality edge
@@ -62,14 +80,34 @@ class Store:
             self._items.append(item)
 
     def get(self) -> Event:
-        ev = Event(self.env, name=self._get_name)
+        env = self.env
+        # inlined Event(env, self._get_name): the constructor call frame
+        # and the name= keyword cost ~250ns per event at this call rate
+        ev = _new_event(Event)
+        ev.env = env
+        ev.name = self._get_name
+        ev._cb0 = None
+        ev._cbs = None
+        ev._ok = True
+        ev._processed = False
+        ev._cancelled = False
         self.total_gets += 1
         if self._items:
             item = self._items.popleft()
-            if _rh.tracker is not None:
-                _rh.tracker.on_handoff_get(item)
-            ev.succeed(item)
+            tracker = _rh.tracker
+            if tracker is not None:
+                tracker.on_handoff_get(item)
+            # inlined Event.succeed() (see put()); ev is freshly created
+            ev._value = item
+            if env._tie_break is None:
+                env._agenda_normal.append(ev)
+                env._live += 1
+                if tracker is not None:
+                    tracker.on_scheduled(ev)
+            else:
+                env.schedule(ev)
         else:
+            ev._value = PENDING
             self._getters.append(ev)
         return ev
 
@@ -165,11 +203,30 @@ class Resource:
         return len(self._waiters)
 
     def request(self) -> Event:
-        ev = Event(self.env, name=self._req_name)
+        env = self.env
+        # inlined Event(env, self._req_name) — see Store.get()
+        ev = _new_event(Event)
+        ev.env = env
+        ev.name = self._req_name
+        ev._cb0 = None
+        ev._cbs = None
+        ev._ok = True
+        ev._processed = False
+        ev._cancelled = False
         if self._in_use < self.capacity:
             self._in_use += 1
-            ev.succeed()
+            # inlined Event.succeed() (see Store.put()); ev is fresh
+            if env._tie_break is None:
+                ev._value = None
+                env._agenda_normal.append(ev)
+                env._live += 1
+                if _rh.tracker is not None:
+                    _rh.tracker.on_scheduled(ev)
+            else:
+                ev._value = PENDING
+                ev.succeed()
         else:
+            ev._value = PENDING
             self._waiters.append(ev)
         return ev
 
@@ -177,6 +234,17 @@ class Resource:
         if self._in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
         if self._waiters:
-            self._waiters.popleft().succeed()
+            # inlined Event.succeed() (see Store.put()): a parked waiter is
+            # untriggered by construction
+            ev = self._waiters.popleft()
+            env = ev.env
+            if env._tie_break is None:
+                ev._value = None
+                env._agenda_normal.append(ev)
+                env._live += 1
+                if _rh.tracker is not None:
+                    _rh.tracker.on_scheduled(ev)
+            else:
+                ev.succeed()
         else:
             self._in_use -= 1
