@@ -1,0 +1,68 @@
+"""bwlint performance + cleanliness guard (``BENCH_lint.json``).
+
+Two things are on the hook here:
+
+* **Wall-clock** — ``repro lint`` runs in CI on every push, so the full
+  static pass (REP1xx + model checker + the REP3xx dataflow/traffic
+  analysis) over the whole tree must stay interactive.  The analysis is
+  pure AST walking with memoized config-field evaluation; the ceilings
+  below carry ~10x headroom over the measured ~0.9s / ~0.1s so only a
+  complexity regression (e.g. an accidentally quadratic fixpoint) trips
+  them, not machine noise.
+* **Zero false positives** — the REP300-306 acceptance bar.  A findings
+  count > 0 on the repo's own sources is a rule regression, caught here
+  with the offending renders in the assertion message.
+
+The recorded trajectory (wall times, file/site counts, guidance
+identity) lands in ``BENCH_lint.json`` next to the other bench files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.regression import best_wall_time, write_bench
+from repro.lint.guidance import build_guidance
+from repro.lint.static_checker import check_paths, iter_python_files
+
+ROOT = Path(__file__).resolve().parents[1]
+LINT_TARGETS = [ROOT / "src" / "repro", ROOT / "examples"]
+APPS = ROOT / "src" / "repro" / "apps"
+
+#: generous ceilings (measured ~0.9s and ~0.1s): complexity guards,
+#: not machine benchmarks
+FULL_LINT_CEILING_S = 10.0
+GUIDANCE_CEILING_S = 2.0
+
+
+def test_lint_regression() -> None:
+    """Record BENCH_lint.json; assert wall ceilings and zero findings."""
+    n_files = len(list(iter_python_files(LINT_TARGETS)))
+    lint_wall, report = best_wall_time(
+        lambda: check_paths(LINT_TARGETS), repeats=2)
+    guide_wall, guidance = best_wall_time(
+        lambda: build_guidance([APPS]), repeats=2)
+
+    assert report.findings == [], [f.render() for f in report.findings]
+    assert lint_wall < FULL_LINT_CEILING_S
+    assert guide_wall < GUIDANCE_CEILING_S
+    assert len(guidance.sites) > 0
+
+    metrics = {
+        "full_tree": {
+            "wall_s": lint_wall,
+            "files": n_files,
+            "findings": len(report.findings),
+            "files_per_s": n_files / lint_wall if lint_wall else 0.0,
+        },
+        "guidance_apps": {
+            "wall_s": guide_wall,
+            "sites": len(guidance.sites),
+        },
+    }
+    path = write_bench("lint", metrics)
+    print(f"\nwrote {path}")
+    print(f"  full_tree: {n_files} files in {lint_wall*1e3:.0f}ms, "
+          f"{len(report.findings)} findings")
+    print(f"  guidance_apps: {len(guidance.sites)} sites in "
+          f"{guide_wall*1e3:.0f}ms, identity {guidance.identity()[:12]}")

@@ -28,7 +28,7 @@ class Compute(Chare):
     def compute_kernel(self, reducer):
         # The runtime guarantees A and B are in HBM when this body runs.
         result = yield from self.kernel(
-            flops=2e9, reads=[self.A], writes=[self.B])
+            flops=2e9, reads=[self.A], writes=[self.A, self.B])
         reducer.contribute(result.duration)
 
 

@@ -36,7 +36,7 @@ __all__ = [
     "STRATEGY_SERIES",
     "PLANS",
     "fig1_plan", "fig2_plan", "fig5_plan", "fig6_plan", "fig7_plan",
-    "fig8_plan", "fig9_plan",
+    "fig8_plan", "fig9_plan", "guided_plan", "guided_placement",
     "fig1_stream_bandwidth",
     "fig2_stencil_fits_in_hbm",
     "fig5_projections_wait",
@@ -407,6 +407,76 @@ def fig9_matmul_speedup(scale: Scale = Scale.SMALL,
     return run_plan(fig9_plan(scale, total_ws_gb, block_dim))
 
 
+# ---------------------------------------------------------------------------
+# Guided — bwlint static guidance vs the paper's policies
+# ---------------------------------------------------------------------------
+
+#: series labels for the guided-placement comparison (hbm-only is
+#: excluded: it refuses overflow working sets by design)
+_GUIDED_STRATEGIES = ("naive", "ddr-only", "single-io", "no-io",
+                      "multi-io", "static-guided")
+
+
+def guided_plan(scale: Scale = Scale.SMALL,
+                iterations: int = 3) -> FigurePlan:
+    """Stencil3D + SpMV makespans under compiler-guided placement.
+
+    The ``static-guided`` strategy places blocks purely from the
+    guidance file :func:`repro.lint.guidance.build_guidance` infers from
+    application source; every other series is a paper policy.  Times are
+    reported normalized to ``naive`` (above 1 = faster than naive), so
+    the claim under test — static guidance never loses to arrival-order
+    static placement — reads directly off the table.
+    """
+    # both working sets overflow the HBM tier (16 GB full-scale), so the
+    # placement order under test actually decides who runs from DDR
+    stencil_total = scale.size(24 * GiB)
+    spmv_rows = 64
+    spmv_block = scale.size(12 * GiB) // spmv_rows
+    specs = [
+        RunSpec("stencil",
+                {**_machine(strategy, scale), "total": stencil_total,
+                 "block": stencil_total // 64,
+                 "iterations": iterations},
+                cost=4.0, label=f"guided/stencil/{strategy}")
+        for strategy in _GUIDED_STRATEGIES
+    ] + [
+        RunSpec("spmv",
+                {**_machine(strategy, scale), "block_rows": spmv_rows,
+                 "block_bytes": spmv_block,
+                 "vector_bytes": max(spmv_block // 32, 4096),
+                 "couplings": 3, "iterations": iterations, "seed": 0},
+                cost=2.0, label=f"guided/spmv/{strategy}")
+        for strategy in _GUIDED_STRATEGIES
+    ]
+
+    def assemble(results: _t.Sequence[_t.Mapping]) -> ExperimentResult:
+        times: dict[str, dict[str, float]] = {}
+        notes: dict[str, _t.Any] = {}
+        it = iter(results)
+        for app in ("stencil3d", "spmv"):
+            times[app] = {strategy: next(it)["total_time"]
+                          for strategy in _GUIDED_STRATEGIES}
+            notes[f"naive_time_{app}_s"] = round(times[app]["naive"], 4)
+            notes[f"guided_vs_naive_{app}"] = round(
+                times[app]["naive"] / times[app]["static-guided"], 4)
+        series = speedup_table(times, baseline="naive")
+        return ExperimentResult(
+            figure="Guided",
+            description="Compiler-guided static placement vs paper "
+                        f"policies (speedup over naive, {iterations} "
+                        "iters)",
+            series=series, unit="speedup", notes=notes)
+
+    return FigurePlan("Guided", specs, assemble)
+
+
+def guided_placement(scale: Scale = Scale.SMALL,
+                     iterations: int = 3) -> ExperimentResult:
+    """Stencil3D + SpMV under bwlint guidance vs the paper's policies."""
+    return run_plan(guided_plan(scale, iterations))
+
+
 #: figure name -> plan factory taking a Scale (the CLI's sweep registry)
 PLANS: dict[str, _t.Callable[[Scale], FigurePlan]] = {
     "fig1": fig1_plan,
@@ -416,4 +486,5 @@ PLANS: dict[str, _t.Callable[[Scale], FigurePlan]] = {
     "fig7": fig7_plan,
     "fig8": fig8_plan,
     "fig9": fig9_plan,
+    "guided": guided_plan,
 }

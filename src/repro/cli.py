@@ -21,7 +21,14 @@ Commands
     Print the Figure-1 STREAM table (``--sanitize`` supported).
 ``lint``
     Statically check dependence declarations (``@entry`` vs kernel usage)
-    in files, directories or importable modules; non-zero exit on errors.
+    and inferred memory traffic (bwlint, rules ``REP3xx``) in files,
+    directories or importable modules.  Exit codes: 0 clean, 1 findings,
+    2 the analyzer itself failed (the offending file and function are
+    named on stderr).  ``--select REP3`` filters by rule-id prefix;
+    ``--guidance PATH`` also writes a placement-guidance file.
+``guide``
+    Emit the bwlint placement-guidance file (canonical JSON, SHA-256
+    identity) that ``--strategy static-guided`` consumes.
 ``metrics``
     Run one application under the :mod:`repro.metrics` telemetry
     subsystem and export the flight-recorder output (``--format
@@ -430,7 +437,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import RULES, check_paths
+    from repro.lint import RULES, AnalyzerCrash, check_paths
 
     if args.rules:
         for rule in RULES.values():
@@ -446,15 +453,62 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except FileNotFoundError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
+    except AnalyzerCrash as exc:
+        # the analyzer itself broke: exit 2 naming the offending spot so
+        # a bug in the checker is never mistaken for a clean tree
+        print(f"lint: internal error in {exc.file}, "
+              f"function {exc.function}: "
+              f"{type(exc.cause).__name__}: {exc.cause}", file=sys.stderr)
+        return 2
     except (OSError, UnicodeDecodeError, ImportError) as exc:
         # internal/environment failure, not a lint verdict: exit 2 so
         # callers can tell "findings" (1) from "the run itself broke"
         print(f"lint: internal error: {exc}", file=sys.stderr)
         return 2
-    for finding in report:
+    findings = list(report)
+    if args.select:
+        prefixes = tuple(args.select)
+        findings = [f for f in findings if f.rule.startswith(prefixes)]
+    for finding in findings:
         print(finding.render())
-    print(f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)")
-    return 0 if report.ok(strict=args.strict) else 1
+    from repro.lint.findings import Severity
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    warnings = [f for f in findings if f.severity is Severity.WARNING]
+    print(f"{len(errors)} error(s), {len(warnings)} warning(s)")
+    if args.guidance:
+        from repro.lint import build_guidance
+        guide = build_guidance(args.targets)
+        guide.write(args.guidance)
+        print(f"guidance for {len(guide.sites)} site(s) written to "
+              f"{args.guidance} (sha256 {guide.identity()[:16]})",
+              file=sys.stderr)
+    ok = not errors and not (args.strict and warnings)
+    return 0 if ok else 1
+
+
+def _cmd_guide(args: argparse.Namespace) -> int:
+    """Emit a bwlint placement-guidance file for the given sources."""
+    from repro.lint import AnalyzerCrash, build_guidance
+
+    targets = args.targets or ["repro.apps"]
+    try:
+        guide = build_guidance(targets)
+    except FileNotFoundError as exc:
+        print(f"guide: {exc}", file=sys.stderr)
+        return 2
+    except AnalyzerCrash as exc:
+        print(f"guide: internal error in {exc.file}, "
+              f"function {exc.function}: "
+              f"{type(exc.cause).__name__}: {exc.cause}", file=sys.stderr)
+        return 2
+    if args.output:
+        guide.write(args.output)
+        print(f"guidance for {len(guide.sites)} site(s) written to "
+              f"{args.output} (sha256 {guide.identity()[:16]})",
+              file=sys.stderr)
+    else:
+        print(guide.dumps(), end="")
+    return 0
 
 
 def _cmd_race(args: argparse.Namespace) -> int:
@@ -573,7 +627,22 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                         help="treat warnings as errors")
     p_lint.add_argument("--rules", action="store_true",
                         help="print the rule catalog and exit")
+    p_lint.add_argument("--select", nargs="*", metavar="PREFIX",
+                        help="only report rules matching these id prefixes "
+                             "(e.g. --select REP3)")
+    p_lint.add_argument("--guidance", metavar="PATH",
+                        help="also write a bwlint placement-guidance file "
+                             "for the lint targets")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_guide = sub.add_parser(
+        "guide", help="emit a bwlint placement-guidance file")
+    p_guide.add_argument("targets", nargs="*", metavar="TARGET",
+                         help="files, directories or importable module "
+                              "names (default: repro.apps)")
+    p_guide.add_argument("-o", "--output", metavar="PATH",
+                         help="write here instead of stdout")
+    p_guide.set_defaults(func=_cmd_guide)
 
     p_race = sub.add_parser(
         "race", help="race detector / placement model checker / "

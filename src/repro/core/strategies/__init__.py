@@ -7,8 +7,10 @@ from repro.core.strategies.hbm_only import HBMOnlyStrategy
 from repro.core.strategies.single_io import SingleIOThreadStrategy
 from repro.core.strategies.no_io import NoIOThreadStrategy
 from repro.core.strategies.multi_io import MultiIOThreadStrategy
+from repro.core.strategies.static_guided import StaticGuidedStrategy
 
-#: registry used by the benchmark harness (paper series names)
+#: registry used by the benchmark harness (paper series names, plus the
+#: bwlint-guided static placement added on top of them)
 STRATEGIES: dict[str, type[Strategy]] = {
     "naive": NaiveStrategy,
     "ddr-only": DDROnlyStrategy,
@@ -16,6 +18,7 @@ STRATEGIES: dict[str, type[Strategy]] = {
     "single-io": SingleIOThreadStrategy,
     "no-io": NoIOThreadStrategy,
     "multi-io": MultiIOThreadStrategy,
+    "static-guided": StaticGuidedStrategy,
 }
 
 
@@ -34,5 +37,5 @@ __all__ = [
     "Strategy",
     "NaiveStrategy", "DDROnlyStrategy", "HBMOnlyStrategy",
     "SingleIOThreadStrategy", "NoIOThreadStrategy", "MultiIOThreadStrategy",
-    "STRATEGIES", "make_strategy",
+    "StaticGuidedStrategy", "STRATEGIES", "make_strategy",
 ]

@@ -11,20 +11,37 @@ process, so the engine can call it freely.
 
 Runtime configuration that changes simulator behaviour without touching
 source is folded in too: the default fluid solver (``$REPRO_SOLVER``)
-selects a different rate kernel, so runs under different solvers hash to
-different generations and can never serve each other stale tables.  (The
-solvers are *supposed* to produce identical results — but the cache must
-not assume what the equivalence tests exist to verify.)
+selects a different rate kernel, and a ``$REPRO_GUIDANCE`` placement
+file steers the ``static-guided`` strategy — so runs under different
+solvers or guidance hash to different generations and can never serve
+each other stale tables.  (The solvers are *supposed* to produce
+identical results — but the cache must not assume what the equivalence
+tests exist to verify.)
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 from pathlib import Path
 
 __all__ = ["code_fingerprint"]
 
 _memo: dict[str, str] = {}
+
+
+def _guidance_digest() -> str:
+    """Content hash of the ``$REPRO_GUIDANCE`` file, if one is active."""
+    path = os.environ.get("REPRO_GUIDANCE")
+    if not path:
+        return "none"
+    try:
+        with open(path, "rb") as fh:
+            return hashlib.sha256(fh.read()).hexdigest()
+    except OSError:
+        # a dangling path still changes behaviour (the strategy will
+        # fail to load it), so it must not alias the unset case
+        return f"missing:{path}"
 
 
 def _package_root() -> Path:
@@ -47,11 +64,14 @@ def code_fingerprint(root: "Path | str | None" = None, *,
     # the memo key carries the solver: tests monkeypatch $REPRO_SOLVER
     # mid-process and must see a fresh generation immediately
     solver = default_solver()
-    memo_key = f"{base}\x00{solver}"
+    guidance = _guidance_digest()
+    memo_key = f"{base}\x00{solver}\x00{guidance}"
     if not refresh and memo_key in _memo:
         return _memo[memo_key]
     digest = hashlib.sha256()
     digest.update(f"fluid_solver={solver}".encode())
+    digest.update(b"\x01")
+    digest.update(f"guidance={guidance}".encode())
     digest.update(b"\x01")
     for path in sorted(base.rglob("*.py"),
                        key=lambda p: p.relative_to(base).as_posix()):

@@ -109,6 +109,23 @@ def run_matmul_spec(params: _t.Mapping[str, _t.Any]) -> dict:
             "mean_kernel_time": result.mean_kernel_time}
 
 
+def run_spmv_spec(params: _t.Mapping[str, _t.Any]) -> dict:
+    """One iterated-SpMV run (guided-placement sweep cell)."""
+    from repro.apps.spmv import SpMV, SpMVConfig
+
+    built = _build(params)
+    cfg = SpMVConfig(block_rows=int(params["block_rows"]),
+                     block_bytes=int(params["block_bytes"]),
+                     vector_bytes=int(params["vector_bytes"]),
+                     couplings=int(params["couplings"]),
+                     iterations=int(params["iterations"]),
+                     seed=int(params.get("seed", 0)))
+    result = SpMV(built, cfg).run()
+    return {"total_time": result.total_time,
+            "mean_iteration_time":
+                sum(result.iteration_times) / len(result.iteration_times)}
+
+
 def run_schedule_spec(params: _t.Mapping[str, _t.Any]) -> dict:
     """One seeded schedule permutation under racesan+simsan."""
     from repro.race.explorer import (matmul_runner, run_schedule,
@@ -158,6 +175,7 @@ EXECUTORS: dict[str, _t.Callable[[_t.Mapping[str, _t.Any]], dict]] = {
     "memcpy": run_memcpy_spec,
     "stencil": run_stencil_spec,
     "matmul": run_matmul_spec,
+    "spmv": run_spmv_spec,
     "schedule": run_schedule_spec,
     "selftest": run_selftest_spec,
 }

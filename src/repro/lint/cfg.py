@@ -1,0 +1,259 @@
+"""Control-flow graphs over the ``ast`` module (the dataflow substrate).
+
+:func:`build_cfg` lowers one function body into basic blocks connected by
+directed edges, covering the statement shapes application and strategy
+code actually uses: ``if``/``elif``/``else``, ``while``/``for`` (with
+``break``/``continue`` and loop-``else``), ``try``/``except``/``else``/
+``finally``, ``with``, ``return`` and ``raise``.  Compound statements are
+*shallow* — an ``ast.If`` node appears in the block that evaluates its
+test, while its branches live in successor blocks — so a transfer
+function over a block never sees nested-branch statements.
+
+Exception edges are conservative: every ``except`` handler is reachable
+both from the block that enters the ``try`` and from the end of its body
+(an exception may fire before any or after all body statements).  That
+over-approximation is the right direction for the may-analyses built on
+top (:mod:`repro.lint.dataflow`): facts can only be *added*, never
+wrongly proven absent.
+
+The graph renders deterministically (:meth:`CFG.render`) so tests can
+golden-match shapes instead of asserting edge soup.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import typing as _t
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]
+
+
+@dataclasses.dataclass
+class BasicBlock:
+    """A maximal straight-line statement sequence."""
+
+    index: int
+    stmts: list[ast.stmt] = dataclasses.field(default_factory=list)
+    succs: list[int] = dataclasses.field(default_factory=list)
+    preds: list[int] = dataclasses.field(default_factory=list)
+
+    def describe(self) -> str:
+        inner = ", ".join(f"L{s.lineno} {type(s).__name__}"
+                          for s in self.stmts)
+        return inner or "(empty)"
+
+
+class CFG:
+    """Basic blocks + edges for one function; block 0 is the entry."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.func = func
+        self.blocks: list[BasicBlock] = []
+        self.entry = 0
+        self.exit = -1  # fixed up by build_cfg
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def render(self) -> str:
+        """Deterministic text form for golden tests."""
+        lines = []
+        for block in self.blocks:
+            tag = ""
+            if block.index == self.entry:
+                tag = " [entry]"
+            elif block.index == self.exit:
+                tag = " [exit]"
+            succs = " ".join(f"bb{i}" for i in block.succs) or "-"
+            lines.append(f"bb{block.index}{tag}: {block.describe()} "
+                         f"-> {succs}")
+        return "\n".join(lines)
+
+
+class _Unreachable(Exception):
+    """Internal marker: the current insertion point has no live block."""
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.cfg = CFG(func)
+        self.cur: int | None = self.cfg.new_block().index
+        #: (continue target, break target) per enclosing loop
+        self.loops: list[tuple[int, int]] = []
+        self.exit = self.cfg.new_block().index
+        self.cfg.exit = self.exit
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _emit(self, stmt: ast.stmt) -> None:
+        if self.cur is None:
+            # dead code after return/break; park it in its own island so
+            # dataflow still terminates and the renderer shows it
+            self.cur = self.cfg.new_block().index
+        self.cfg.blocks[self.cur].stmts.append(stmt)
+
+    def _branch_to_new(self) -> int:
+        """Close the current block and return a fresh successor index."""
+        new = self.cfg.new_block().index
+        if self.cur is not None:
+            self.cfg.add_edge(self.cur, new)
+        self.cur = new
+        return new
+
+    def _edge_from_cur(self, dst: int) -> None:
+        if self.cur is not None:
+            self.cfg.add_edge(self.cur, dst)
+
+    # -- statement dispatch -------------------------------------------------
+
+    def body(self, stmts: _t.Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.stmt(stmt)
+
+    def stmt(self, node: ast.stmt) -> None:
+        handler = getattr(self, f"_stmt_{type(node).__name__}", None)
+        if handler is not None:
+            handler(node)
+        else:
+            self._emit(node)
+
+    def _stmt_Return(self, node: ast.Return) -> None:
+        self._emit(node)
+        self._edge_from_cur(self.exit)
+        self.cur = None
+
+    def _stmt_Raise(self, node: ast.Raise) -> None:
+        self._emit(node)
+        self._edge_from_cur(self.exit)
+        self.cur = None
+
+    def _stmt_Break(self, node: ast.Break) -> None:
+        self._emit(node)
+        if self.loops:
+            self._edge_from_cur(self.loops[-1][1])
+        else:
+            self._edge_from_cur(self.exit)
+        self.cur = None
+
+    def _stmt_Continue(self, node: ast.Continue) -> None:
+        self._emit(node)
+        if self.loops:
+            self._edge_from_cur(self.loops[-1][0])
+        else:
+            self._edge_from_cur(self.exit)
+        self.cur = None
+
+    def _stmt_If(self, node: ast.If) -> None:
+        self._emit(node)  # the test evaluates in the current block
+        test_block = self.cur
+        after = self.cfg.new_block().index
+
+        then = self.cfg.new_block().index
+        self.cfg.add_edge(_t.cast(int, test_block), then)
+        self.cur = then
+        self.body(node.body)
+        self._edge_from_cur(after)
+
+        if node.orelse:
+            orelse = self.cfg.new_block().index
+            self.cfg.add_edge(_t.cast(int, test_block), orelse)
+            self.cur = orelse
+            self.body(node.orelse)
+            self._edge_from_cur(after)
+        else:
+            self.cfg.add_edge(_t.cast(int, test_block), after)
+        self.cur = after
+
+    def _loop(self, node: ast.While | ast.For) -> None:
+        head = self._branch_to_new()
+        self._emit(node)  # test / iterator evaluates in the header
+        after = self.cfg.new_block().index
+        body = self.cfg.new_block().index
+        self.cfg.add_edge(head, body)
+        self.cfg.add_edge(head, after)
+
+        self.loops.append((head, after))
+        self.cur = body
+        self.body(node.body)
+        self._edge_from_cur(head)  # back edge
+        self.loops.pop()
+
+        if node.orelse:
+            # loop-else runs on normal (non-break) termination; modelled
+            # on the head->after edge by interposing the else chain
+            orelse = self.cfg.new_block().index
+            self.cfg.blocks[head].succs.remove(after)
+            self.cfg.blocks[after].preds.remove(head)
+            self.cfg.add_edge(head, orelse)
+            self.cur = orelse
+            self.body(node.orelse)
+            self._edge_from_cur(after)
+        self.cur = after
+
+    _stmt_While = _loop
+    _stmt_For = _loop
+    _stmt_AsyncFor = _loop
+
+    def _stmt_Try(self, node: ast.Try) -> None:
+        self._emit(node)  # marker: the try is entered here
+        entry_block = _t.cast(int, self.cur)
+        after = self.cfg.new_block().index
+
+        body = self.cfg.new_block().index
+        self.cfg.add_edge(entry_block, body)
+        self.cur = body
+        self.body(node.body)
+        body_end = self.cur
+
+        handler_ends: list[int | None] = []
+        for handler in node.handlers:
+            hblock = self.cfg.new_block().index
+            # conservative: the exception may fire before any or after
+            # all body statements
+            self.cfg.add_edge(entry_block, hblock)
+            if body_end is not None:
+                self.cfg.add_edge(body_end, hblock)
+            self.cur = hblock
+            self.body(handler.body)
+            handler_ends.append(self.cur)
+
+        self.cur = body_end
+        if node.orelse:
+            self.body(node.orelse)
+
+        join = self.cfg.new_block().index
+        self._edge_from_cur(join)
+        for end in handler_ends:
+            if end is not None:
+                self.cfg.add_edge(end, join)
+        self.cur = join
+        if node.finalbody:
+            self.body(node.finalbody)
+
+    _stmt_TryStar = _stmt_Try
+
+    def _stmt_With(self, node: ast.With) -> None:
+        self._emit(node)  # context managers + as-names bind here
+        self.body(node.body)
+
+    _stmt_AsyncWith = _stmt_With
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Lower one function's body to a :class:`CFG`.
+
+    Nested function/class definitions are kept as opaque single
+    statements (their bodies get their own CFGs if analyzed).
+    """
+    builder = _Builder(func)
+    builder.body(func.body)
+    builder._edge_from_cur(builder.exit)
+    return builder.cfg

@@ -61,6 +61,37 @@ _ALL = [
     Rule("REP108", Severity.WARNING, "kernel-outside-prefetch",
          "self.kernel() inside an entry not annotated [prefetch] — the "
          "bandwidth-sensitive task is invisible to the OOC manager"),
+    # -- bwlint static traffic inference (repro.lint.traffic) ----------------
+    Rule("REP300", Severity.WARNING, "overdeclared-intent",
+         "a dependence is declared readwrite but no kernel in the class "
+         "ever writes it — eviction will write back a clean block and "
+         "node-level sharing is disabled for nothing; declare it readonly"),
+    Rule("REP301", Severity.WARNING, "dead-site",
+         "a declared block is never touched by any kernel or entry — the "
+         "allocation occupies tier capacity and shows up in placement "
+         "decisions for no traffic"),
+    Rule("REP302", Severity.WARNING, "writeonly-shared-site",
+         "a node-group-shared block is declared writeonly by every "
+         "referencing kernel and read by none — keeping it resident in "
+         "HBM for sharing buys nothing"),
+    Rule("REP303", Severity.ERROR, "use-before-fetch",
+         "a declared dependence handle is never bound to a block site in "
+         "its class — the prefetch phase has nothing to fetch and the "
+         "kernel runs against an unbound handle"),
+    Rule("REP304", Severity.ERROR, "static-footprint-exceeds-hbm",
+         "the blocks one [prefetch] entry declares are simultaneously "
+         "live and their static sizes already exceed the HBM tier "
+         "capacity — no eviction order can make this task's working set "
+         "fit"),
+    Rule("REP305", Severity.WARNING, "unbounded-kernel-loop",
+         "a while-loop with no inferable trip count wraps a kernel launch "
+         "inside a [prefetch] entry — static traffic inference cannot "
+         "bound the phase's byte volume; drive the loop from a config "
+         "range instead"),
+    Rule("REP306", Severity.ERROR, "conflicting-alias-intents",
+         "two dependence handles in one entry are bound to the same block "
+         "site with different intents — the runtime will pick one "
+         "arbitrarily when refcounting and writeback cannot honour both"),
     # -- runtime sanitizer ("simsan") ----------------------------------------
     Rule("SAN201", Severity.ERROR, "refcount-leak",
          "a block still holds a non-zero refcount at quiescence — some "

@@ -34,6 +34,9 @@ __all__ = ["check_paths", "check_file", "check_source", "iter_python_files"]
 #: class names that make a subclass chare-like without further evidence
 _CHARE_ROOTS = {"Chare", "NodeGroup"}
 
+#: names that always denote the entry decorator
+_ENTRY_NAMES = frozenset({"entry"})
+
 
 def _finding(rule_id: str, message: str, file: str, line: int, *,
              chare: str = "", entry: str = "") -> Finding:
@@ -59,17 +62,54 @@ class _EntryDecl:
     unknown_deps: bool = False
 
 
-def _decorator_is_entry(dec: ast.expr) -> bool:
+def _module_entry_aliases(tree: ast.Module) -> frozenset[str]:
+    """Module-level names bound to the ``entry`` decorator.
+
+    Covers the alias blind spots: ``from ... import entry as kernel_entry``
+    and ``my_entry = entry`` (or ``my_entry = runtime.entry``).  Aliases of
+    aliases resolve transitively within the module body.
+    """
+    aliases = set(_ENTRY_NAMES)
+    changed = True
+    while changed:
+        changed = False
+        for node in tree.body:
+            name: str | None = None
+            if isinstance(node, ast.ImportFrom):
+                for item in node.names:
+                    if item.name == "entry" and item.asname \
+                            and item.asname not in aliases:
+                        aliases.add(item.asname)
+                        changed = True
+                continue
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                value = node.value
+                if isinstance(value, ast.Name) and value.id in aliases:
+                    name = node.targets[0].id
+                elif isinstance(value, ast.Attribute) \
+                        and value.attr == "entry":
+                    name = node.targets[0].id
+            if name is not None and name not in aliases:
+                aliases.add(name)
+                changed = True
+    return frozenset(aliases)
+
+
+def _decorator_is_entry(dec: ast.expr,
+                        aliases: frozenset[str] = _ENTRY_NAMES) -> bool:
     target = dec.func if isinstance(dec, ast.Call) else dec
     if isinstance(target, ast.Name):
-        return target.id == "entry"
+        return target.id in aliases
     if isinstance(target, ast.Attribute):
         return target.attr == "entry"
     return False
 
 
-def _parse_entry_decorator(dec: ast.expr) -> _EntryDecl | None:
-    if not _decorator_is_entry(dec):
+def _parse_entry_decorator(dec: ast.expr,
+                           aliases: frozenset[str] = _ENTRY_NAMES
+                           ) -> _EntryDecl | None:
+    if not _decorator_is_entry(dec, aliases):
         return None
     decl = _EntryDecl(line=dec.lineno)
     if not isinstance(dec, ast.Call):
@@ -167,49 +207,129 @@ class _KernelUse:
     reads: set[str]
     writes: set[str]
     unknown: bool
+    #: the call node itself (the traffic analyzer reads kwargs off it)
+    call: ast.Call | None = None
 
 
-def _is_self_call(node: ast.Call, method: str) -> bool:
-    return (isinstance(node.func, ast.Attribute)
-            and node.func.attr == method
-            and isinstance(node.func.value, ast.Name)
-            and node.func.value.id == "self")
-
-
-def _collect_kernel_uses(func: ast.FunctionDef) -> list[_KernelUse]:
-    local_defs: dict[str, ast.expr] = {}
-    uses: list[_KernelUse] = []
+def _local_defs(func: ast.FunctionDef | ast.AsyncFunctionDef
+                ) -> dict[str, ast.expr]:
+    defs: dict[str, ast.expr] = {}
     for node in ast.walk(func):
         if isinstance(node, ast.Assign) and len(node.targets) == 1 \
                 and isinstance(node.targets[0], ast.Name):
-            local_defs[node.targets[0].id] = node.value
-    for node in ast.walk(func):
-        if not (isinstance(node, ast.Call) and _is_self_call(node, "kernel")):
+            defs[node.targets[0].id] = node.value
+    return defs
+
+
+def _is_self_expr(node: ast.expr,
+                  local_defs: _t.Mapping[str, ast.expr],
+                  _depth: int = 0) -> bool:
+    """Does this expression denote ``self`` (directly or via an alias)?"""
+    if _depth > 5:
+        return False
+    if isinstance(node, ast.Name):
+        if node.id == "self":
+            return True
+        target = local_defs.get(node.id)
+        # ``this = self`` alias chains; guard against ``self = self``-style
+        # self-reference loops via the depth bound
+        return target is not None and _is_self_expr(target, local_defs,
+                                                    _depth + 1)
+    return False
+
+
+def _is_self_call(node: ast.Call, method: str,
+                  local_defs: _t.Mapping[str, ast.expr] | None = None
+                  ) -> bool:
+    """Is this call ``self.<method>(...)``, resolving local aliases?
+
+    Covers the alias blind spots: ``kern = self.kernel; kern(...)`` and
+    ``this = self; this.kernel(...)``.
+    """
+    defs: _t.Mapping[str, ast.expr] = local_defs or {}
+    fn = node.func
+    if isinstance(fn, ast.Name):
+        target = defs.get(fn.id)
+        if target is None or not isinstance(target, ast.Attribute):
+            return False
+        fn = target
+    return (isinstance(fn, ast.Attribute) and fn.attr == method
+            and _is_self_expr(fn.value, defs))
+
+
+def _class_helper_methods(cls: ast.ClassDef | None,
+                          aliases: frozenset[str]
+                          ) -> dict[str, ast.FunctionDef]:
+    """Non-entry methods of ``cls``, candidates for call inlining."""
+    if cls is None:
+        return {}
+    out: dict[str, ast.FunctionDef] = {}
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
-        reads_expr: ast.expr | None = None
-        writes_expr: ast.expr | None = None
-        # kernel(flops, reads, writes, ...) — positional or keyword
-        if len(node.args) >= 2:
-            reads_expr = node.args[1]
-        if len(node.args) >= 3:
-            writes_expr = node.args[2]
-        for kw in node.keywords:
-            if kw.arg == "reads":
-                reads_expr = kw.value
-            elif kw.arg == "writes":
-                writes_expr = kw.value
-        reads, r_unknown = _block_attrs(reads_expr, local_defs)
-        writes, w_unknown = _block_attrs(writes_expr, local_defs)
-        uses.append(_KernelUse(line=node.lineno, reads=reads, writes=writes,
-                               unknown=r_unknown or w_unknown))
+        if any(_decorator_is_entry(dec, aliases)
+               for dec in method.decorator_list):
+            continue
+        out[method.name] = _t.cast(ast.FunctionDef, method)
+    return out
+
+
+def _collect_kernel_uses(func: ast.FunctionDef,
+                         cls: ast.ClassDef | None = None,
+                         aliases: frozenset[str] = _ENTRY_NAMES,
+                         _visited: frozenset[str] = frozenset(),
+                         _depth: int = 0) -> list[_KernelUse]:
+    """Kernel calls reachable from ``func``'s body.
+
+    ``self.helper()`` calls to non-entry methods of the same class are
+    inlined (depth-limited, cycle-safe), so kernels launched through
+    nested helpers are attributed to the calling entry instead of falling
+    through to unknown-suppression.
+    """
+    local_defs = _local_defs(func)
+    helpers = _class_helper_methods(cls, aliases) if _depth < 3 else {}
+    uses: list[_KernelUse] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        if _is_self_call(node, "kernel", local_defs):
+            reads_expr: ast.expr | None = None
+            writes_expr: ast.expr | None = None
+            # kernel(flops, reads, writes, ...) — positional or keyword
+            if len(node.args) >= 2:
+                reads_expr = node.args[1]
+            if len(node.args) >= 3:
+                writes_expr = node.args[2]
+            for kw in node.keywords:
+                if kw.arg == "reads":
+                    reads_expr = kw.value
+                elif kw.arg == "writes":
+                    writes_expr = kw.value
+            reads, r_unknown = _block_attrs(reads_expr, local_defs)
+            writes, w_unknown = _block_attrs(writes_expr, local_defs)
+            uses.append(_KernelUse(line=node.lineno, reads=reads,
+                                   writes=writes,
+                                   unknown=r_unknown or w_unknown,
+                                   call=node))
+            continue
+        # transitive helper inlining: self.helper() / aliased equivalents
+        fn = node.func
+        if isinstance(fn, ast.Attribute) and fn.attr in helpers \
+                and fn.attr not in _visited and fn.attr != func.name \
+                and _is_self_expr(fn.value, local_defs):
+            uses.extend(_collect_kernel_uses(
+                helpers[fn.attr], cls, aliases,
+                _visited | {fn.attr}, _depth + 1))
     return uses
 
 
 def _collect_declared_blocks(func: ast.FunctionDef) -> list[tuple[str, int]]:
     """Literal first arguments of ``self.declare_block(...)`` calls."""
+    local_defs = _local_defs(func)
     out: list[tuple[str, int]] = []
     for node in ast.walk(func):
-        if isinstance(node, ast.Call) and _is_self_call(node, "declare_block"):
+        if isinstance(node, ast.Call) \
+                and _is_self_call(node, "declare_block", local_defs):
             if node.args and isinstance(node.args[0], ast.Constant) \
                     and isinstance(node.args[0].value, str):
                 out.append((node.args[0].value, node.lineno))
@@ -245,7 +365,8 @@ def _chare_classes(tree: ast.Module) -> list[ast.ClassDef]:
 # -- per-class checks -------------------------------------------------------------
 
 
-def _check_class(cls: ast.ClassDef, file: str) -> list[Finding]:
+def _check_class(cls: ast.ClassDef, file: str,
+                 aliases: frozenset[str] = _ENTRY_NAMES) -> list[Finding]:
     findings: list[Finding] = []
     declared_names: dict[str, int] = {}
     for method in cls.body:
@@ -253,7 +374,7 @@ def _check_class(cls: ast.ClassDef, file: str) -> list[Finding]:
             continue
         decl: _EntryDecl | None = None
         for dec in method.decorator_list:
-            decl = _parse_entry_decorator(dec)
+            decl = _parse_entry_decorator(dec, aliases)
             if decl is not None:
                 break
         block_decls = _collect_declared_blocks(method)
@@ -284,14 +405,16 @@ def _check_class(cls: ast.ClassDef, file: str) -> list[Finding]:
             findings.append(_finding(
                 "REP103", "[prefetch] entry declares no data dependences",
                 file, decl.line, chare=cls.name, entry=method.name))
-        findings.extend(_check_entry_body(cls, method, decl, file))
+        findings.extend(_check_entry_body(cls, method, decl, file, aliases))
     return findings
 
 
 def _check_entry_body(cls: ast.ClassDef, method: ast.FunctionDef,
-                      decl: _EntryDecl, file: str) -> list[Finding]:
+                      decl: _EntryDecl, file: str,
+                      aliases: frozenset[str] = _ENTRY_NAMES
+                      ) -> list[Finding]:
     findings: list[Finding] = []
-    uses = _collect_kernel_uses(method)
+    uses = _collect_kernel_uses(method, cls, aliases)
     if not uses:
         return findings
     used_reads: set[str] = set()
@@ -354,12 +477,16 @@ def check_source(source: str, filename: str = "<string>") -> list[Finding]:
         return [_finding("REP100", f"could not parse: {exc.msg}",
                          filename, exc.lineno or 1)]
     findings: list[Finding] = []
+    aliases = _module_entry_aliases(tree)
     for cls in _chare_classes(tree):
-        findings.extend(_check_class(cls, filename))
+        findings.extend(_check_class(cls, filename, aliases))
     # lazy: repro.race.model_checker imports this module for
     # iter_python_files, so a top-level import here would be a cycle
     from repro.race.model_checker import check_tree as _model_check_tree
     findings.extend(_model_check_tree(tree, filename))
+    # the bwlint traffic pass (REP3xx); lazy for the same cycle reason
+    from repro.lint.traffic import check_tree as _traffic_check_tree
+    findings.extend(_traffic_check_tree(tree, filename))
     findings.sort(key=lambda f: (f.file, f.line, f.rule))
     return findings
 

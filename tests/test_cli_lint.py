@@ -2,8 +2,6 @@
 
 import os
 
-import pytest
-
 from repro.cli import main
 from repro.lint import hooks
 
@@ -62,6 +60,64 @@ class TestLintCommand:
         assert main(["lint", "--rules"]) == 0
         out = capsys.readouterr().out
         assert "REP101" in out and "SAN205" in out
+
+
+class TestSelectAndCrash:
+    def test_select_filters_to_prefix(self, capsys):
+        # the fixture has REP1xx findings but no REP3xx ones: selecting
+        # the bwlint family flips the verdict back to clean
+        assert main(["lint", FIXTURE, "--select", "REP3"]) == 0
+        out = capsys.readouterr().out
+        assert "REP102" not in out
+        assert main(["lint", FIXTURE, "--select", "REP1"]) == 1
+        assert "REP102" in capsys.readouterr().out
+
+    def test_analyzer_crash_exits_two_naming_site(self, tmp_path,
+                                                  monkeypatch, capsys):
+        import repro.lint.traffic as traffic_mod
+
+        target = tmp_path / "crashy.py"
+        target.write_text(
+            "class CrashMe(Chare):\n"
+            "    @entry\n"
+            "    def setup(self, barrier):\n"
+            "        self.a = self.declare_block('a', 1024)\n")
+        monkeypatch.setattr(traffic_mod, "_FORCE_CRASH", "CrashMe")
+        assert main(["lint", str(target)]) == 2
+        err = capsys.readouterr().err
+        assert "lint: internal error" in err
+        assert "crashy.py" in err and "CrashMe" in err
+
+
+class TestGuidanceEmission:
+    def test_lint_guidance_writes_canonical_file(self, tmp_path, capsys):
+        out_path = tmp_path / "guidance.json"
+        assert main(["lint", os.path.join(SRC, "apps"),
+                     "--guidance", str(out_path)]) == 0
+        err = capsys.readouterr().err
+        assert "guidance for" in err and "sha256" in err
+        from repro.lint.guidance import load_guidance
+
+        guide = load_guidance(out_path)
+        assert "StencilChare.grid" in guide.sites
+
+    def test_guide_command_stdout(self, capsys):
+        assert main(["guide"]) == 0
+        out = capsys.readouterr().out
+        assert '"schema"' in out and "StencilChare.grid" in out
+
+    def test_guide_command_output_file_round_trips(self, tmp_path, capsys):
+        out_path = tmp_path / "g.json"
+        assert main(["guide", "repro.apps", "-o", str(out_path)]) == 0
+        from repro.lint.guidance import build_guidance, load_guidance
+
+        import repro.apps
+        direct = build_guidance([os.path.dirname(repro.apps.__file__)])
+        assert load_guidance(out_path).dumps() == direct.dumps()
+
+    def test_guide_bad_target_exits_two(self, capsys):
+        assert main(["guide", "no.such.module.anywhere"]) == 2
+        assert "guide:" in capsys.readouterr().err
 
 
 class TestSanitizeFlag:

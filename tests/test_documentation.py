@@ -30,6 +30,8 @@ MODULES = [
     "repro.apps.stream_app", "repro.apps.jacobi2d", "repro.apps.spmv",
     "repro.lint", "repro.lint.findings", "repro.lint.rules",
     "repro.lint.hooks", "repro.lint.static_checker", "repro.lint.sanitizer",
+    "repro.lint.cfg", "repro.lint.dataflow", "repro.lint.traffic",
+    "repro.lint.guidance",
     "repro.hooks",
     "repro.race", "repro.race.hooks", "repro.race.clock",
     "repro.race.detector", "repro.race.model_checker", "repro.race.explorer",

@@ -1,0 +1,142 @@
+"""Regression tests for static-checker blind spots (ISSUE 7 satellite).
+
+Each test seeds a real defect (an undeclared kernel dependence, REP101)
+behind one of the aliasing idioms the checker used to miss: decorator
+aliases, ``self``/method aliases at the call site, and kernels launched
+from nested helper methods.  The defect must still be detected.
+"""
+
+import textwrap
+
+from repro.lint import check_source
+
+
+def lint(body: str):
+    return check_source(textwrap.dedent(body), filename="t.py")
+
+
+def rule_ids(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestEntryDecoratorAliases:
+    def test_import_alias(self):
+        findings = lint("""
+            from repro.runtime.entry import entry as kernel_entry
+
+            class C(Chare):
+                @kernel_entry(prefetch=True, readonly=["a"])
+                def go(self):
+                    yield from self.kernel(flops=1, reads=[self.a, self.b],
+                                           writes=[])
+        """)
+        assert "REP101" in rule_ids(findings)
+
+    def test_module_level_assignment_alias(self):
+        findings = lint("""
+            my_entry = entry
+
+            class C(Chare):
+                @my_entry(prefetch=True, readonly=["a"])
+                def go(self):
+                    yield from self.kernel(flops=1, reads=[self.a, self.b],
+                                           writes=[])
+        """)
+        assert "REP101" in rule_ids(findings)
+
+    def test_alias_of_alias_resolves_transitively(self):
+        findings = lint("""
+            from repro.runtime.entry import entry as e1
+            e2 = e1
+
+            class C(Chare):
+                @e2(prefetch=True, readonly=["a"])
+                def go(self):
+                    yield from self.kernel(flops=1, reads=[self.a, self.b],
+                                           writes=[])
+        """)
+        assert "REP101" in rule_ids(findings)
+
+
+class TestCallSiteAliases:
+    def test_bound_method_alias(self):
+        findings = lint("""
+            class C(Chare):
+                @entry(prefetch=True, readonly=["a"])
+                def go(self):
+                    kern = self.kernel
+                    yield from kern(flops=1, reads=[self.a, self.b],
+                                    writes=[])
+        """)
+        assert "REP101" in rule_ids(findings)
+
+    def test_self_alias(self):
+        findings = lint("""
+            class C(Chare):
+                @entry(prefetch=True, readonly=["a"])
+                def go(self):
+                    this = self
+                    yield from this.kernel(flops=1, reads=[self.a, self.b],
+                                           writes=[])
+        """)
+        assert "REP101" in rule_ids(findings)
+
+
+class TestHelperInlining:
+    def test_kernel_in_helper_attributed_to_entry(self):
+        findings = lint("""
+            class C(Chare):
+                @entry(prefetch=True, readonly=["a"])
+                def go(self):
+                    yield from self._launch()
+
+                def _launch(self):
+                    yield from self.kernel(flops=1, reads=[self.a, self.b],
+                                           writes=[])
+        """)
+        assert "REP101" in rule_ids(findings)
+
+    def test_nested_helpers_inline_transitively(self):
+        findings = lint("""
+            class C(Chare):
+                @entry(prefetch=True, readonly=["a"])
+                def go(self):
+                    yield from self._outer()
+
+                def _outer(self):
+                    yield from self._inner()
+
+                def _inner(self):
+                    yield from self.kernel(flops=1, reads=[self.a, self.b],
+                                           writes=[])
+        """)
+        assert "REP101" in rule_ids(findings)
+
+    def test_mutually_recursive_helpers_terminate(self):
+        findings = lint("""
+            class C(Chare):
+                @entry(prefetch=True, readonly=["a"])
+                def go(self):
+                    yield from self._ping()
+
+                def _ping(self):
+                    yield from self._pong()
+
+                def _pong(self):
+                    yield from self._ping()
+        """)
+        # no kernel anywhere: the cycle must neither hang nor crash
+        assert "REP101" not in rule_ids(findings)
+
+    def test_clean_helper_launch_stays_clean(self):
+        findings = lint("""
+            class C(Chare):
+                @entry(prefetch=True, readonly=["a"])
+                def go(self):
+                    yield from self._launch()
+
+                def _launch(self):
+                    yield from self.kernel(flops=1, reads=[self.a],
+                                           writes=[])
+        """)
+        assert rule_ids(findings) == []

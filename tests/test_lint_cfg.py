@@ -1,0 +1,184 @@
+"""Golden-shape tests for the repro.lint.cfg control-flow builder."""
+
+import ast
+import textwrap
+
+from repro.lint.cfg import build_cfg
+
+
+def cfg_of(body: str):
+    tree = ast.parse(textwrap.dedent(body))
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def render(body: str) -> str:
+    return cfg_of(body).render()
+
+
+class TestStraightLine:
+    def test_single_block_body(self):
+        assert render("""
+            def f():
+                a = 1
+                b = a + 1
+                return b
+        """) == ("bb0 [entry]: L3 Assign, L4 Assign, L5 Return -> bb1\n"
+                 "bb1 [exit]: (empty) -> -")
+
+    def test_implicit_fallthrough_reaches_exit(self):
+        cfg = cfg_of("""
+            def f():
+                a = 1
+        """)
+        assert cfg.blocks[0].succs == [cfg.exit]
+
+
+class TestIf:
+    def test_if_else_diamond(self):
+        assert render("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """) == ("bb0 [entry]: L3 If -> bb3 bb4\n"
+                 "bb1 [exit]: (empty) -> -\n"
+                 "bb2: L7 Return -> bb1\n"
+                 "bb3: L4 Assign -> bb2\n"
+                 "bb4: L6 Assign -> bb2")
+
+    def test_if_without_else_falls_through(self):
+        assert render("""
+            def f(x):
+                if x:
+                    a = 1
+                return x
+        """) == ("bb0 [entry]: L3 If -> bb3 bb2\n"
+                 "bb1 [exit]: (empty) -> -\n"
+                 "bb2: L5 Return -> bb1\n"
+                 "bb3: L4 Assign -> bb2")
+
+
+class TestLoops:
+    def test_while_has_back_edge_and_escape(self):
+        assert render("""
+            def f(x):
+                while x:
+                    x = x - 1
+                return x
+        """) == ("bb0 [entry]: (empty) -> bb2\n"
+                 "bb1 [exit]: (empty) -> -\n"
+                 "bb2: L3 While -> bb4 bb3\n"
+                 "bb3: L5 Return -> bb1\n"
+                 "bb4: L4 Assign -> bb2")
+
+    def test_for_break_jumps_to_after(self):
+        cfg = cfg_of("""
+            def f(xs):
+                for x in xs:
+                    if x:
+                        break
+                    y = x
+                return y
+        """)
+        text = cfg.render()
+        # the break block's only successor is the loop-after block, which
+        # carries the return statement
+        break_block = next(b for b in cfg.blocks
+                           if any(isinstance(s, ast.Break) for s in b.stmts))
+        after = next(b for b in cfg.blocks
+                     if any(isinstance(s, ast.Return) for s in b.stmts))
+        assert break_block.succs == [after.index], text
+
+    def test_continue_jumps_to_header(self):
+        cfg = cfg_of("""
+            def f(xs):
+                for x in xs:
+                    if x:
+                        continue
+                    y = x
+        """)
+        head = next(b for b in cfg.blocks
+                    if any(isinstance(s, ast.For) for s in b.stmts))
+        cont = next(b for b in cfg.blocks
+                    if any(isinstance(s, ast.Continue) for s in b.stmts))
+        assert cont.succs == [head.index]
+
+    def test_loop_else_interposed_on_exit_edge(self):
+        cfg = cfg_of("""
+            def f(xs):
+                for x in xs:
+                    y = x
+                else:
+                    y = 0
+                return y
+        """)
+        head = next(b for b in cfg.blocks
+                    if any(isinstance(s, ast.For) for s in b.stmts))
+        orelse = next(b for b in cfg.blocks
+                      if any(s.lineno == 6 for s in b.stmts))
+        assert orelse.index in head.succs
+        ret = next(b for b in cfg.blocks
+                   if any(isinstance(s, ast.Return) for s in b.stmts))
+        assert ret.index in orelse.succs
+        assert ret.index not in head.succs  # no direct escape any more
+
+
+class TestTry:
+    def test_handler_reachable_from_entry_and_body_end(self):
+        cfg = cfg_of("""
+            def f():
+                try:
+                    a = 1
+                    b = 2
+                except ValueError:
+                    c = 3
+                return 0
+        """)
+        entry_block = next(b for b in cfg.blocks
+                           if any(isinstance(s, ast.Try) for s in b.stmts))
+        handler = next(b for b in cfg.blocks
+                       if any(s.lineno == 7 for s in b.stmts))
+        body = next(b for b in cfg.blocks
+                    if any(s.lineno == 4 for s in b.stmts))
+        assert entry_block.index in handler.preds
+        assert body.index in handler.preds
+
+    def test_finally_joins_both_paths(self):
+        cfg = cfg_of("""
+            def f():
+                try:
+                    a = 1
+                except KeyError:
+                    b = 2
+                finally:
+                    c = 3
+        """)
+        fin = next(b for b in cfg.blocks
+                   if any(s.lineno == 8 for s in b.stmts))
+        assert len(fin.preds) == 2  # body end + handler end
+
+
+class TestDeadCode:
+    def test_statements_after_return_are_islanded(self):
+        cfg = cfg_of("""
+            def f():
+                return 1
+                x = 2
+        """)
+        island = next(b for b in cfg.blocks
+                      if any(s.lineno == 4 for s in b.stmts))
+        assert island.preds == []  # unreachable, but present and rendered
+
+    def test_render_is_deterministic(self):
+        body = """
+            def f(x):
+                for i in range(x):
+                    if i:
+                        continue
+                return x
+        """
+        assert render(body) == render(body)
