@@ -13,10 +13,14 @@ Commands
     stderr.  Tables are byte-identical whatever ``--jobs`` is.
 ``cache``
     Inspect (``stats``) or delete (``clear``) the on-disk result cache.
-``stencil`` / ``matmul``
+``stencil`` / ``matmul`` / ``spmv``
     Run one application configuration under one strategy and report
     timings plus the OOC manager summary.  ``--sanitize`` runs under the
     :mod:`repro.lint` runtime sanitizer and fails on invariant violations.
+    ``--spans`` records the :mod:`repro.obs` causal span DAG and prints
+    the critical-path makespan decomposition after the run; with
+    ``--trace-out`` the spans (and their causal flow arrows) are merged
+    into the exported Chrome trace.
 ``stream``
     Print the Figure-1 STREAM table (``--sanitize`` supported).
 ``lint``
@@ -42,9 +46,20 @@ Commands
     the happens-before race detector, exploring ``--explore-schedules N``
     seeded event orderings (``-j/--jobs`` explores seeds in parallel) and
     minimizing the first failure to a ``(--seed, --limit)`` replay token.
-    ``stencil``/``matmul`` accept the same ``--race`` /
+    ``stencil``/``matmul``/``spmv`` accept the same ``--race`` /
     ``--explore-schedules`` / ``--seed`` / ``--limit`` flags on a normal
     run.
+``report``
+    The self-reporting experiment suite: run figure sweeps across N
+    seeded schedule replicates on the parallel engine, print mean ± 95%
+    CI tables with Welch significance tests against ``--baseline``, and
+    write one self-contained HTML report (inline SVG, no external
+    assets).  Warm-cache re-runs reproduce the file byte for byte.
+``trend``
+    The BENCH trend dashboard: ``append`` folds the repo's current
+    ``BENCH_*.json`` snapshots into ``bench_history.jsonl`` (keyed by
+    commit, idempotent), ``render`` turns the history into a standalone
+    sparkline HTML page.
 
 Examples::
 
@@ -60,6 +75,12 @@ Examples::
     python -m repro race --static
     python -m repro race --app stencil --explore-schedules 8 -j 4
     python -m repro stencil --race --total 256MiB --block 16MiB
+    python -m repro spmv --strategy multi-io --block-rows 32
+    python -m repro stencil --spans --trace-out trace.json
+    python -m repro report --figures fig2 fig8 --replicates 5 \
+        --baseline "Single IO thread" -j 8 -o report.html
+    python -m repro trend append --commit $GITHUB_SHA
+    python -m repro trend render -o trend.html
 """
 
 from __future__ import annotations
@@ -69,6 +90,7 @@ import sys
 import typing as _t
 
 from repro.apps.matmul import MatMul, MatMulConfig
+from repro.apps.spmv import SpMV, SpMVConfig
 from repro.apps.stencil3d import Stencil3D, StencilConfig
 from repro.bench import experiments as exps
 from repro.bench.harness import Scale
@@ -103,6 +125,14 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         metavar="SIMSECONDS",
                         help="flight-recorder snapshot cadence in "
                              "simulated seconds (default 0.02)")
+    parser.add_argument("--spans", action="store_true",
+                        help="record the repro.obs causal span DAG and "
+                             "print the critical-path decomposition")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write a Chrome trace (open in Perfetto); "
+                             "merges metrics counter tracks with "
+                             "--metrics and causal flow arrows with "
+                             "--spans")
     parser.add_argument("--race", action="store_true",
                         help="run under the repro.race happens-before "
                              "detector (racesan); non-zero exit on races")
@@ -170,7 +200,7 @@ def _finish_racesan(racesan: _t.Any) -> int:
 
 def _app_runner(args: argparse.Namespace, app: str) -> _t.Any:
     """Build an explorer runner from the CLI's app/machine arguments."""
-    from repro.race import matmul_runner, stencil_runner
+    from repro.race import matmul_runner, spmv_runner, stencil_runner
 
     machine = dict(strategy=args.strategy, cores=args.cores,
                    mcdram=parse_size(args.mcdram), ddr=parse_size(args.ddr))
@@ -178,6 +208,13 @@ def _app_runner(args: argparse.Namespace, app: str) -> _t.Any:
         return stencil_runner(total=parse_size(args.total),
                               block=parse_size(args.block),
                               iterations=args.iterations, **machine)
+    if app == "spmv":
+        return spmv_runner(block_rows=args.block_rows,
+                           block_bytes=parse_size(args.block_bytes),
+                           vector_bytes=parse_size(args.vector_bytes),
+                           couplings=args.couplings,
+                           iterations=args.iterations,
+                           seed=args.matrix_seed, **machine)
     return matmul_runner(working_set=parse_size(args.working_set),
                          block_dim=args.block_dim, **machine)
 
@@ -191,6 +228,13 @@ def _app_spec_params(args: argparse.Namespace, app: str) -> dict[str, _t.Any]:
         params.update(total=parse_size(args.total),
                       block=parse_size(args.block),
                       iterations=args.iterations)
+    elif app == "spmv":
+        params.update(block_rows=args.block_rows,
+                      block_bytes=parse_size(args.block_bytes),
+                      vector_bytes=parse_size(args.vector_bytes),
+                      couplings=args.couplings,
+                      iterations=args.iterations,
+                      matrix_seed=args.matrix_seed)
     else:
         params.update(working_set=parse_size(args.working_set),
                       block_dim=args.block_dim)
@@ -230,6 +274,43 @@ def _explore_or_replay(args: argparse.Namespace, app: str) -> int | None:
     return 1 if outcome.failed else 0
 
 
+def _start_spans(args: argparse.Namespace, built: _t.Any) -> _t.Any:
+    """Install the causal span tracer when ``--spans`` was given."""
+    if not getattr(args, "spans", False):
+        return None
+    from repro.obs import SpanTracer
+    return SpanTracer(built.env).install()
+
+
+def _finish_spans(tracer: _t.Any, built: _t.Any, window_start: float,
+                  title: str) -> "list | None":
+    """Uninstall, print the critical-path report; returns the spans."""
+    if tracer is None:
+        return None
+    tracer.uninstall()
+    from repro.obs import critical_path
+    report = critical_path(tracer.spans, start=window_start,
+                           end=built.env.now)
+    print(report.render(title=title))
+    return tracer.spans
+
+
+def _write_trace(args: argparse.Namespace, built: _t.Any, *,
+                 counters: _t.Any = None, spans: _t.Any = None) -> None:
+    """Write the merged Chrome trace when ``--trace-out`` was given."""
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        return
+    from repro.trace import export as trace_export
+
+    payload = trace_export.to_json(built.runtime.tracer,
+                                   counters=counters, spans=spans)
+    with open(trace_out, "w") as fh:
+        fh.write(payload)
+    # stderr: keep stdout machine-parseable under ``--format json/prom``
+    print(f"merged Chrome trace written to {trace_out}", file=sys.stderr)
+
+
 def _start_metrics(args: argparse.Namespace, built: _t.Any,
                    app: str) -> _t.Any:
     """Open a :class:`repro.metrics.MetricsSession` when asked to."""
@@ -252,9 +333,17 @@ def _start_metrics(args: argparse.Namespace, built: _t.Any,
 
 
 def _finish_metrics(session: _t.Any, args: argparse.Namespace,
-                    app: str) -> None:
-    """Stop the recorder and print the chosen export format."""
+                    app: str, *, spans: _t.Any = None,
+                    built: _t.Any = None) -> None:
+    """Stop the recorder and print the chosen export format.
+
+    Also writes the ``--trace-out`` Chrome trace; ``built`` lets the
+    trace be exported (with ``spans`` merged) when no metrics session
+    was open.
+    """
     if session is None:
+        if built is not None:
+            _write_trace(args, built, spans=spans)
         return
     from repro.metrics import (counter_series, render_report, to_json,
                                to_prometheus)
@@ -267,17 +356,8 @@ def _finish_metrics(session: _t.Any, args: argparse.Namespace,
         print(to_json(session.registry, recorder, indent=2))
     else:
         print(render_report(session.registry, recorder, title=app))
-    trace_out = getattr(args, "trace_out", None)
-    if trace_out:
-        from repro.trace import export as trace_export
-
-        payload = trace_export.to_json(
-            session.built.runtime.tracer,
-            counters=counter_series(recorder))
-        with open(trace_out, "w") as fh:
-            fh.write(payload)
-        # stderr: keep stdout machine-parseable under ``--format json/prom``
-        print(f"merged Chrome trace written to {trace_out}", file=sys.stderr)
+    _write_trace(args, session.built, counters=counter_series(recorder),
+                 spans=spans)
 
 
 def _progress_line(event: dict) -> None:
@@ -357,6 +437,8 @@ def _cmd_stencil(args: argparse.Namespace) -> int:
         sanitizer.bind(built.manager)
     racesan = _start_racesan(args, built)
     metrics = _start_metrics(args, built, "stencil")
+    spans = _start_spans(args, built)
+    window_start = built.env.now
     cfg = StencilConfig(total_bytes=parse_size(args.total),
                         block_bytes=parse_size(args.block),
                         iterations=args.iterations)
@@ -374,7 +456,9 @@ def _cmd_stencil(args: argparse.Namespace) -> int:
     print("hbm occupancy   :")
     print(render_occupancy(built.manager.occupancy_log,
                            built.machine.hbm.capacity, width=60))
-    _finish_metrics(metrics, args, "stencil")
+    span_list = _finish_spans(spans, built, window_start,
+                              f"stencil/{args.strategy}")
+    _finish_metrics(metrics, args, "stencil", spans=span_list, built=built)
     race_code = _finish_racesan(racesan)
     return max(race_code, _finish_sanitizer(sanitizer, built.manager))
 
@@ -389,6 +473,8 @@ def _cmd_matmul(args: argparse.Namespace) -> int:
         sanitizer.bind(built.manager)
     racesan = _start_racesan(args, built)
     metrics = _start_metrics(args, built, "matmul")
+    spans = _start_spans(args, built)
+    window_start = built.env.now
     cfg = MatMulConfig.for_working_set(parse_size(args.working_set),
                                        block_dim=args.block_dim)
     app = MatMul(built, cfg)
@@ -400,7 +486,45 @@ def _cmd_matmul(args: argparse.Namespace) -> int:
     print(f"mean kernel/task: {format_time(result.mean_kernel_time)}")
     for key, value in built.manager.summary().items():
         print(f"{key:16s}: {value}")
-    _finish_metrics(metrics, args, "matmul")
+    span_list = _finish_spans(spans, built, window_start,
+                              f"matmul/{args.strategy}")
+    _finish_metrics(metrics, args, "matmul", spans=span_list, built=built)
+    race_code = _finish_racesan(racesan)
+    return max(race_code, _finish_sanitizer(sanitizer, built.manager))
+
+
+def _cmd_spmv(args: argparse.Namespace) -> int:
+    code = _explore_or_replay(args, "spmv")
+    if code is not None:
+        return code
+    sanitizer = _start_sanitizer(args)
+    built = _build(args)
+    if sanitizer is not None:
+        sanitizer.bind(built.manager)
+    racesan = _start_racesan(args, built)
+    metrics = _start_metrics(args, built, "spmv")
+    spans = _start_spans(args, built)
+    window_start = built.env.now
+    cfg = SpMVConfig(block_rows=args.block_rows,
+                     block_bytes=parse_size(args.block_bytes),
+                     vector_bytes=parse_size(args.vector_bytes),
+                     couplings=args.couplings,
+                     iterations=args.iterations,
+                     seed=args.matrix_seed)
+    app = SpMV(built, cfg)
+    result = app.run()
+    print(f"strategy        : {args.strategy}")
+    print(f"block rows      : {cfg.block_rows} "
+          f"({format_size(cfg.block_bytes)} matrix blocks, "
+          f"{cfg.couplings} coupling(s))")
+    print(f"total time      : {format_time(result.total_time)}")
+    print(f"mean iteration  : {format_time(result.mean_iteration_time)}")
+    print(f"tasks completed : {result.tasks_completed}")
+    for key, value in built.manager.summary().items():
+        print(f"{key:16s}: {value}")
+    span_list = _finish_spans(spans, built, window_start,
+                              f"spmv/{args.strategy}")
+    _finish_metrics(metrics, args, "spmv", spans=span_list, built=built)
     race_code = _finish_racesan(racesan)
     return max(race_code, _finish_sanitizer(sanitizer, built.manager))
 
@@ -410,6 +534,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     args.metrics = True
     built = _build(args)
     metrics = _start_metrics(args, built, args.app)
+    spans = _start_spans(args, built)
+    window_start = built.env.now
     if args.app == "stencil":
         cfg = StencilConfig(total_bytes=parse_size(args.total),
                             block_bytes=parse_size(args.block),
@@ -419,13 +545,23 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         cfg = MatMulConfig.for_working_set(parse_size(args.working_set),
                                            block_dim=args.block_dim)
         MatMul(built, cfg).run()
+    elif args.app == "spmv":
+        cfg = SpMVConfig(block_rows=args.block_rows,
+                         block_bytes=parse_size(args.block_bytes),
+                         vector_bytes=parse_size(args.vector_bytes),
+                         couplings=args.couplings,
+                         iterations=args.iterations,
+                         seed=args.matrix_seed)
+        SpMV(built, cfg).run()
     else:
         from repro.apps.stream_app import StreamApp, StreamAppConfig
 
         cfg = StreamAppConfig(array_bytes=parse_size(args.array),
                               chares=args.chares, repeats=args.repeats)
         StreamApp(built, cfg).run()
-    _finish_metrics(metrics, args, args.app)
+    span_list = _finish_spans(spans, built, window_start,
+                              f"{args.app}/{args.strategy}")
+    _finish_metrics(metrics, args, args.app, spans=span_list, built=built)
     return 0
 
 
@@ -511,6 +647,73 @@ def _cmd_guide(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Replicated figure sweep with stats, tables and an HTML report."""
+    from repro.exec import ResultCache, run_specs
+    from repro.obs.report import (assemble_sweep, render_report_html,
+                                  replicate_specs)
+
+    scale = _SCALES[args.scale]
+    names = list(args.figures or [])
+    if args.all or not names:
+        names = sorted(exps.PLANS)
+    unknown = sorted(set(names) - set(exps.PLANS))
+    if unknown:
+        print(f"unknown figure(s) {unknown}; "
+              f"choose from {sorted(exps.PLANS)}", file=sys.stderr)
+        return 2
+    plans = [exps.PLANS[name](scale) for name in names]
+    specs = replicate_specs(plans, args.replicates)
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    results = run_specs(specs, jobs=args.jobs, cache=cache,
+                        progress=_progress_line)
+    failed = [r for r in results if not r.ok]
+    if failed:
+        for r in failed:
+            print(f"report: {r.spec.display()}: {r.error}", file=sys.stderr)
+        return 1
+    figures = assemble_sweep(plans, args.replicates,
+                             [r.result for r in results],
+                             baseline=args.baseline)
+    for fig in figures:
+        print(fig.render())
+        print()
+    html = render_report_html(
+        figures, title=f"repro experiment report — {', '.join(names)} "
+                       f"({args.scale} scale)")
+    with open(args.out, "w") as fh:
+        fh.write(html)
+    print(f"report ({len(figures)} figure(s), {args.replicates} "
+          f"replicate(s)) written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    """Append to / render the BENCH trend history."""
+    import os
+    from pathlib import Path
+
+    from repro.obs import trend as obs_trend
+
+    history = Path(args.history) if args.history else None
+    if args.action == "append":
+        commit = args.commit or os.environ.get("GITHUB_SHA") or "local"
+        record = obs_trend.append_history(commit, path=history)
+        if record is None:
+            print(f"trend: nothing appended for {commit} (already "
+                  "recorded, or no BENCH_*.json found)", file=sys.stderr)
+        else:
+            print(f"trend: recorded {len(record['benches'])} bench "
+                  f"snapshot(s) for {commit}")
+        return 0
+    records = obs_trend.load_history(history)
+    with open(args.out, "w") as fh:
+        fh.write(obs_trend.render_trend_html(records))
+    print(f"trend dashboard ({len(records)} commit(s)) written to "
+          f"{args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_race(args: argparse.Namespace) -> int:
     if args.static or args.targets:
         from repro.race import check_paths, default_targets
@@ -590,6 +793,17 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     p_mm.add_argument("--block-dim", type=int, default=96)
     p_mm.set_defaults(func=_cmd_matmul)
 
+    p_sp = sub.add_parser("spmv", help="run iterated SpMV once")
+    _add_machine_args(p_sp)
+    p_sp.add_argument("--block-rows", type=int, default=64)
+    p_sp.add_argument("--block-bytes", default="8MiB")
+    p_sp.add_argument("--vector-bytes", default="256KiB")
+    p_sp.add_argument("--couplings", type=int, default=3)
+    p_sp.add_argument("--iterations", type=int, default=5)
+    p_sp.add_argument("--matrix-seed", type=int, default=0,
+                      help="sparsity-pattern seed (column couplings)")
+    p_sp.set_defaults(func=_cmd_spmv)
+
     p_sm = sub.add_parser("stream", help="STREAM bandwidth table (Fig 1)")
     p_sm.add_argument("--threads", type=int, default=64)
     p_sm.add_argument("--sanitize", action="store_true",
@@ -600,12 +814,9 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "metrics", help="run one app under the telemetry subsystem")
     _add_machine_args(p_mx)
     p_mx.add_argument("--app", default="stencil",
-                      choices=["stencil", "matmul", "stream"])
+                      choices=["stencil", "matmul", "spmv", "stream"])
     p_mx.add_argument("--watch", action="store_true",
                       help="narrate flight-recorder snapshot deltas live")
-    p_mx.add_argument("--trace-out", metavar="PATH",
-                      help="also write a Chrome trace with metrics counter "
-                           "tracks merged in (open in Perfetto)")
     # stencil shape
     p_mx.add_argument("--total", default="512MiB")
     p_mx.add_argument("--block", default="8MiB")
@@ -613,6 +824,12 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     # matmul shape
     p_mx.add_argument("--working-set", default="256MiB")
     p_mx.add_argument("--block-dim", type=int, default=96)
+    # spmv shape
+    p_mx.add_argument("--block-rows", type=int, default=32)
+    p_mx.add_argument("--block-bytes", default="8MiB")
+    p_mx.add_argument("--vector-bytes", default="256KiB")
+    p_mx.add_argument("--couplings", type=int, default=3)
+    p_mx.add_argument("--matrix-seed", type=int, default=0)
     # stream shape
     p_mx.add_argument("--array", default="4MiB")
     p_mx.add_argument("--chares", type=int, default=64)
@@ -655,7 +872,7 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                         help="model-check the placement-state protocol "
                              "(REP2xx) instead of running an app")
     p_race.add_argument("--app", default="stencil",
-                        choices=["stencil", "matmul"])
+                        choices=["stencil", "matmul", "spmv"])
     p_race.add_argument("--strategy", default="multi-io",
                         choices=sorted(STRATEGIES))
     p_race.add_argument("--cores", type=int, default=8)
@@ -680,7 +897,52 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     # matmul shape
     p_race.add_argument("--working-set", default="128MiB")
     p_race.add_argument("--block-dim", type=int, default=64)
+    # spmv shape
+    p_race.add_argument("--block-rows", type=int, default=16)
+    p_race.add_argument("--block-bytes", default="8MiB")
+    p_race.add_argument("--vector-bytes", default="256KiB")
+    p_race.add_argument("--couplings", type=int, default=2)
+    p_race.add_argument("--matrix-seed", type=int, default=0)
     p_race.set_defaults(func=_cmd_race)
+
+    p_rep = sub.add_parser(
+        "report", help="replicated figure sweep with stats + HTML report")
+    p_rep.add_argument("--figures", nargs="*", metavar="FIG",
+                       help="subset, e.g. fig2 fig8 (default: all)")
+    p_rep.add_argument("--all", action="store_true",
+                       help="run every figure (the default when --figures "
+                            "is omitted)")
+    p_rep.add_argument("--scale", default="small", choices=sorted(_SCALES))
+    p_rep.add_argument("--replicates", type=int, default=3, metavar="N",
+                       help="seeded schedule replicates per configuration "
+                            "(default 3)")
+    p_rep.add_argument("--baseline", default=None, metavar="SERIES",
+                       help="series label to t-test the others against "
+                            "(e.g. 'Single IO thread')")
+    p_rep.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the simulation runs")
+    p_rep.add_argument("-o", "--out", default="report.html", metavar="PATH",
+                       help="HTML report path (default report.html)")
+    p_rep.add_argument("--no-cache", action="store_true",
+                       help="run everything fresh, bypassing .repro-cache/")
+    p_rep.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache location (default: .repro-cache/ at the "
+                            "repo root)")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_tr = sub.add_parser(
+        "trend", help="BENCH_*.json trend history + sparkline dashboard")
+    p_tr.add_argument("action", choices=["append", "render"])
+    p_tr.add_argument("--commit", default=None, metavar="SHA",
+                      help="commit id for 'append' (default: $GITHUB_SHA, "
+                           "then 'local')")
+    p_tr.add_argument("--history", default=None, metavar="PATH",
+                      help="history file (default: bench_history.jsonl at "
+                           "the repo root)")
+    p_tr.add_argument("-o", "--out", default="trend.html", metavar="PATH",
+                      help="HTML dashboard path for 'render' "
+                           "(default trend.html)")
+    p_tr.set_defaults(func=_cmd_trend)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -16,6 +16,7 @@ from repro.core.ooc_task import OOCTask, TaskState
 from repro.errors import SchedulingError
 from repro.mem.block import BlockState, DataBlock
 from repro.metrics import hooks as _mx
+from repro.obs import hooks as _oh
 from repro.runtime.message import Message
 from repro.runtime.pe import PE
 from repro.runtime.runtime import CharmRuntime
@@ -136,6 +137,8 @@ class OOCManager:
             if self.tracer.enabled:
                 self.tracer.record(lane, TraceCategory.SCHEDULING,
                                    started, self.env.now, label="queue-op")
+            if _oh.collector is not None:
+                _oh.collector.on_queue_op(lane, started, self.env.now)
 
     def pick_run_queue(self, origin: PE) -> PE:
         """Which run queue a ready task goes to.

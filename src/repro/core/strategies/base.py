@@ -21,6 +21,7 @@ import typing as _t
 from repro.errors import CapacityError, ConfigError, SchedulingError
 from repro.mem.block import BlockState, DataBlock
 from repro.metrics import hooks as _mx
+from repro.obs import hooks as _oh
 from repro.runtime.interception import ReadyTask
 from repro.runtime.pe import PE
 from repro.core.ooc_task import OOCTask, TaskState
@@ -173,6 +174,9 @@ class Strategy:
         if mgr.tracer.enabled:
             mgr.tracer.record(lane, category, started, mgr.env.now,
                               label=f"fetch {block.name}")
+        if _oh.collector is not None:
+            _oh.collector.on_fetch(block, lane, category, started,
+                                   mgr.env.now)
         return True
 
     def evict_block(self, block: DataBlock, lane: str,
@@ -213,6 +217,9 @@ class Strategy:
         if mgr.tracer.enabled:
             mgr.tracer.record(lane, category, started, mgr.env.now,
                               label=f"evict {block.name}")
+        if _oh.collector is not None:
+            _oh.collector.on_evict(block, lane, category, started,
+                                   mgr.env.now, reason)
 
     #: proactive eviction watermarks, as fractions of the HBM budget: when
     #: uncommitted space drops below ``low``, evict (demand-aware LRU)
@@ -322,6 +329,8 @@ class Strategy:
         already pinned them.  On failure the retention is rolled back.
         """
         mgr = self._mgr()
+        if _oh.collector is not None:
+            _oh.collector.on_serve(task, lane)
         if not task.retained:
             task.retain_all(mgr.env.now)
         # On-demand eviction flagged by can_fetch_task: pick victims now

@@ -65,11 +65,25 @@ def run_memcpy_spec(params: _t.Mapping[str, _t.Any]) -> dict:
 def _build(params: _t.Mapping[str, _t.Any]) -> _t.Any:
     from repro.core.api import OOCRuntimeBuilder
 
-    return OOCRuntimeBuilder(
+    builder = OOCRuntimeBuilder(
         params["strategy"], cores=int(params["cores"]),
         mcdram_capacity=int(params["mcdram"]),
         ddr_capacity=int(params["ddr"]),
-        trace=bool(params.get("trace", False))).build()
+        trace=bool(params.get("trace", False)))
+    replicate = int(params.get("replicate", 0))
+    if replicate == 0:
+        return builder.build()
+    # Replicate r > 0: permute same-instant event ordering with the
+    # explorer's seeded tie-breaker.  Deterministic per (spec, r) — the
+    # replicate id is part of the spec identity, so every replicate is
+    # its own cache entry and re-runs stay byte-identical.
+    from repro.exec.spec import stable_seed
+    from repro.race.explorer import SeededTieBreaker
+    from repro.sim.environment import Environment
+
+    env = Environment()
+    env.set_tie_breaker(SeededTieBreaker(stable_seed("replicate", replicate)))
+    return builder.build_into(env)
 
 
 def run_stencil_spec(params: _t.Mapping[str, _t.Any]) -> dict:
@@ -129,7 +143,7 @@ def run_spmv_spec(params: _t.Mapping[str, _t.Any]) -> dict:
 def run_schedule_spec(params: _t.Mapping[str, _t.Any]) -> dict:
     """One seeded schedule permutation under racesan+simsan."""
     from repro.race.explorer import (matmul_runner, run_schedule,
-                                     stencil_runner)
+                                     spmv_runner, stencil_runner)
 
     machine = dict(strategy=params["strategy"], cores=int(params["cores"]),
                    mcdram=int(params["mcdram"]), ddr=int(params["ddr"]))
@@ -138,6 +152,14 @@ def run_schedule_spec(params: _t.Mapping[str, _t.Any]) -> dict:
                                 block=int(params["block"]),
                                 iterations=int(params["iterations"]),
                                 **machine)
+    elif params["app"] == "spmv":
+        runner = spmv_runner(block_rows=int(params["block_rows"]),
+                             block_bytes=int(params["block_bytes"]),
+                             vector_bytes=int(params["vector_bytes"]),
+                             couplings=int(params["couplings"]),
+                             iterations=int(params["iterations"]),
+                             seed=int(params.get("matrix_seed", 0)),
+                             **machine)
     else:
         runner = matmul_runner(working_set=int(params["working_set"]),
                                block_dim=int(params["block_dim"]),

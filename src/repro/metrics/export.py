@@ -163,6 +163,10 @@ def digest(registry: MetricsRegistry) -> dict[str, float]:
     marks; histograms report count/p50/p95/p99 per family (labels summed
     away or, for percentiles, taken over the merged family observations
     via the widest child).
+
+    Every value is coerced to ``float`` — byte-valued instruments hold
+    ints, and a mixed int/float digest serializes inconsistently across
+    BENCH_*.json snapshots (``12.0`` vs ``12``), breaking trend diffs.
     """
     out: dict[str, float] = {}
     families: dict[str, list] = {}
@@ -171,9 +175,9 @@ def digest(registry: MetricsRegistry) -> dict[str, float]:
     for name, insts in sorted(families.items()):
         first = insts[0]
         if isinstance(first, Counter):
-            out[name] = sum(i.value for i in insts)
+            out[name] = float(sum(i.value for i in insts))
         elif isinstance(first, Gauge):
-            out[name + "_hwm"] = max(i.high_water for i in insts)
+            out[name + "_hwm"] = float(max(i.high_water for i in insts))
         elif isinstance(first, (Histogram, Timer)):
             hists = [i.histogram if isinstance(i, Timer) else i
                      for i in insts]
@@ -181,9 +185,9 @@ def digest(registry: MetricsRegistry) -> dict[str, float]:
             out[name + "_count"] = float(total)
             if total:
                 busiest = max(hists, key=lambda h: h.count)
-                out[name + "_p50"] = busiest.p50
-                out[name + "_p95"] = busiest.p95
-                out[name + "_p99"] = busiest.p99
+                out[name + "_p50"] = float(busiest.p50)
+                out[name + "_p95"] = float(busiest.p95)
+                out[name + "_p99"] = float(busiest.p99)
     return out
 
 

@@ -1,0 +1,43 @@
+"""Span-collector hook slot — the only obs module the runtime imports.
+
+The runtime layer (converse delivery, strategy fetch/evict, manager
+queue ops) publishes span begin/end notifications through this slot so
+the causal span tracer (:class:`repro.obs.spans.SpanTracer`) can build
+the span DAG.  Call sites guard every hook with::
+
+    from repro.obs import hooks as _oh
+    ...
+    if _oh.collector is not None:
+        _oh.collector.on_execute_end(...)
+
+so the cost with no collector installed is one module-global load and an
+``is not None`` test — measured in ``benchmarks/bench_obs.py`` and held
+below the 1.05x disabled-overhead bar.  This module stays
+dependency-light on purpose: it imports only :mod:`repro.hooks` (itself
+dependency-free), never the rest of :mod:`repro.obs`, so the runtime
+never pays for the tracer it is not using.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.hooks import HookSlot
+
+__all__ = ["collector", "install", "uninstall"]
+
+#: the active span collector (a :class:`repro.obs.spans.SpanTracer`),
+#: or None when span tracing is off — the default
+collector: _t.Any = None
+
+_slot = HookSlot(__name__, "collector", kind="span collector")
+
+
+def install(obs: _t.Any) -> None:
+    """Add ``obs`` to the collector slot (idempotent per observer)."""
+    _slot.install(obs)
+
+
+def uninstall(obs: _t.Any = None) -> None:
+    """Remove ``obs`` from the slot; with ``None``, remove every collector."""
+    _slot.uninstall(obs)

@@ -1,0 +1,196 @@
+"""Self-reporting experiment suite: replicates, stats, one HTML file.
+
+``repro report`` runs any :class:`~repro.bench.harness.FigurePlan` N
+times — replicate 0 is the plan's own specs verbatim (sharing cache
+entries with plain ``repro experiments`` runs), replicate r > 0 re-runs
+every spec with ``params["replicate"] = r``, which the executors map to
+a seeded same-instant tie-breaker.  Each replicate is therefore a
+legitimate alternative schedule of the same workload, and the spread
+across replicates measures schedule sensitivity, not noise.
+
+:func:`replicate_specs` enumerates the fan-out (replicate-major, so the
+engine's cost-ordered dispatch still sees whole plans together);
+:func:`assemble_sweep` folds the flat result list back through each
+plan's ``assemble`` per replicate and aggregates every series cell into
+a :class:`~repro.obs.stats.Sample` plus a Welch t-test against a named
+baseline series.  :func:`render_report_html` emits one self-contained
+HTML file (inline SVG + tables, no external assets, no timestamps) —
+re-running against a warm cache reproduces it byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.obs import html as _h
+from repro.obs.stats import Sample, Welch, summarize, welch
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.bench.harness import FigurePlan
+    from repro.exec.spec import RunSpec
+
+__all__ = ["SweepFigure", "replicate_specs", "assemble_sweep",
+           "render_report_html"]
+
+
+@dataclasses.dataclass
+class SweepFigure:
+    """One figure's replicate-aggregated series."""
+
+    figure: str
+    description: str
+    unit: str
+    replicates: int
+    #: baseline series label the t-tests compare against (None: no tests)
+    baseline: str | None
+    #: x label -> series label -> per-replicate values, replicate order
+    values: dict[str, dict[str, list[float]]]
+    #: x label -> series label -> aggregate
+    stats: dict[str, dict[str, Sample]]
+    #: x label -> series label -> Welch vs baseline (baseline maps to None)
+    tests: dict[str, dict[str, Welch | None]]
+
+    def series_names(self) -> list[str]:
+        names: list[str] = []
+        for row in self.stats.values():
+            for name in row:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def render(self) -> str:
+        """Plain-text summary table for the CLI."""
+        lines = [f"== {self.figure}: {self.description} ==",
+                 f"   unit={self.unit}  replicates={self.replicates}"
+                 + (f"  baseline={self.baseline}" if self.baseline else "")]
+        for x, row in self.stats.items():
+            cells = []
+            for label, sample in row.items():
+                test = self.tests.get(x, {}).get(label)
+                mark = test.marker() if test is not None else ""
+                ci = f" ±{_h.fmt(sample.ci95)}" if sample.n > 1 else ""
+                cells.append(f"{label}={_h.fmt(sample.mean)}{ci}{mark}")
+            lines.append(f"   {x:12s} " + "  ".join(cells))
+        if self.baseline:
+            lines.append("   (* = significant vs baseline at 95%, Welch)")
+        return "\n".join(lines)
+
+
+def replicate_specs(plans: "_t.Sequence[FigurePlan]",
+                    replicates: int) -> "list[RunSpec]":
+    """Enumerate every run of an N-replicate sweep, replicate-major.
+
+    Replicate 0 keeps each spec's original params — identical identity,
+    so its cache entries are shared with non-replicated sweeps of the
+    same figures.
+    """
+    if replicates < 1:
+        raise ValueError("replicates must be >= 1")
+    specs: "list[RunSpec]" = []
+    for r in range(replicates):
+        for plan in plans:
+            for spec in plan.specs:
+                if r == 0:
+                    specs.append(spec)
+                else:
+                    specs.append(dataclasses.replace(
+                        spec, params={**dict(spec.params), "replicate": r},
+                        label=f"{spec.label or spec.kind} [r{r}]"))
+    return specs
+
+
+def assemble_sweep(plans: "_t.Sequence[FigurePlan]", replicates: int,
+                   results: _t.Sequence[_t.Mapping[str, _t.Any]], *,
+                   baseline: str | None = None) -> list[SweepFigure]:
+    """Fold flat replicate-major results into per-figure aggregates.
+
+    ``results`` must parallel :func:`replicate_specs` order.  ``baseline``
+    names a *series label* (e.g. ``"Single IO thread"``); series that
+    carry it get a Welch test against it per x point.
+    """
+    stride = sum(len(plan.specs) for plan in plans)
+    if len(results) != stride * replicates:
+        raise ValueError(f"expected {stride * replicates} results, "
+                         f"got {len(results)}")
+    figures: list[SweepFigure] = []
+    offset = 0
+    for plan in plans:
+        width = len(plan.specs)
+        values: dict[str, dict[str, list[float]]] = {}
+        first = None
+        for r in range(replicates):
+            lo = r * stride + offset
+            exp = plan.assemble(results[lo:lo + width])
+            if first is None:
+                first = exp
+            for x, row in exp.series.items():
+                cell = values.setdefault(x, {})
+                for label, value in row.items():
+                    cell.setdefault(label, []).append(float(value))
+        offset += width
+        assert first is not None
+        stats = {x: {label: summarize(vals) for label, vals in row.items()}
+                 for x, row in values.items()}
+        base = baseline if any(baseline in row for row in values.values()) \
+            else None
+        tests: dict[str, dict[str, Welch | None]] = {}
+        for x, row in values.items():
+            cell: dict[str, Welch | None] = {}
+            for label, vals in row.items():
+                if base is not None and label != base and base in row:
+                    cell[label] = welch(vals, row[base])
+                else:
+                    cell[label] = None
+            tests[x] = cell
+        figures.append(SweepFigure(
+            figure=first.figure, description=first.description,
+            unit=first.unit, replicates=replicates, baseline=base,
+            values=values, stats=stats, tests=tests))
+    return figures
+
+
+def _figure_section(fig: SweepFigure) -> str:
+    xs = list(fig.stats)
+    labels = fig.series_names()
+
+    def value_of(x: str, label: str) -> tuple[float, float] | None:
+        sample = fig.stats.get(x, {}).get(label)
+        return None if sample is None else (sample.mean, sample.ci95)
+
+    head = "".join(f"<th>{_h.esc(label)}</th>" for label in labels)
+    rows = []
+    for x in xs:
+        cells = []
+        for label in labels:
+            sample = fig.stats[x].get(label)
+            if sample is None:
+                cells.append("<td>—</td>")
+                continue
+            test = fig.tests.get(x, {}).get(label)
+            mark = '<span class="sig">*</span>' \
+                if test is not None and test.significant else ""
+            ci = f" ± {_h.esc(_h.fmt(sample.ci95))}" if sample.n > 1 else ""
+            cells.append(f"<td>{_h.esc(_h.fmt(sample.mean))}{ci}{mark}</td>")
+        rows.append(f'<tr><td class="x">{_h.esc(x)}</td>'
+                    + "".join(cells) + "</tr>")
+    legend = (f'<p class="note"><span class="sig">*</span> significant vs '
+              f"baseline <b>{_h.esc(fig.baseline)}</b> at 95% "
+              "(Welch&#8217;s t-test)</p>") if fig.baseline else ""
+    return (f"<h2>{_h.esc(fig.figure)} — {_h.esc(fig.description)}</h2>"
+            f'<p class="note">unit: {_h.esc(fig.unit)} · '
+            f"replicates: {fig.replicates} · mean ± 95% CI</p>"
+            + _h.bar_chart(xs, labels, value_of, unit=fig.unit)
+            + f'<table><tr><th class="x"></th>{head}</tr>'
+            + "".join(rows) + "</table>" + legend)
+
+
+def render_report_html(figures: _t.Sequence[SweepFigure], *,
+                       title: str = "repro experiment report") -> str:
+    """One self-contained HTML page for a whole sweep."""
+    reps = max((fig.replicates for fig in figures), default=0)
+    subtitle = (f"{len(figures)} figure(s), {reps} seeded schedule "
+                "replicate(s) per configuration; error bars are 95% "
+                "confidence intervals across replicates")
+    body = "".join(_figure_section(fig) for fig in figures)
+    return _h.page(title, body, subtitle=subtitle)

@@ -1,0 +1,104 @@
+"""Small-sample statistics for the replicate suite (stdlib only).
+
+The experiment suite runs N seeded replicates per configuration and
+reports mean ± 95% confidence interval, plus a Welch two-sample t-test
+against a named baseline series.  SciPy is not a dependency, so the
+t critical values come from a fixed two-sided 95% table (df 1..30, then
+the normal limit) — the same numbers every intro-stats appendix prints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as _t
+
+__all__ = ["Sample", "summarize", "t_critical", "welch"]
+
+#: two-sided 95% Student-t critical values, df 1..30
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def t_critical(df: float) -> float:
+    """Two-sided 95% t critical value; normal limit past df 30."""
+    if df < 1:
+        return _T95[0]
+    if df >= 31:
+        return 1.960
+    return _T95[int(df) - 1]
+
+
+@dataclasses.dataclass(slots=True)
+class Sample:
+    """Mean/CI summary of one series of replicate values."""
+
+    n: int
+    mean: float
+    std: float        # sample standard deviation (ddof=1); 0 when n < 2
+    ci95: float       # 95% CI half-width; 0 when n < 2
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci95
+
+
+def summarize(values: _t.Sequence[float]) -> Sample:
+    """Mean, sample std and 95% CI half-width of ``values``."""
+    n = len(values)
+    if n == 0:
+        return Sample(0, 0.0, 0.0, 0.0)
+    mean = math.fsum(values) / n
+    if n < 2:
+        return Sample(n, mean, 0.0, 0.0)
+    var = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+    std = math.sqrt(var)
+    ci95 = t_critical(n - 1) * std / math.sqrt(n)
+    return Sample(n, mean, std, ci95)
+
+
+@dataclasses.dataclass(slots=True)
+class Welch:
+    """Welch two-sample t-test result (unequal variances)."""
+
+    t: float
+    df: float
+    significant: bool    # |t| exceeds the 95% critical value
+
+    def marker(self) -> str:
+        return "*" if self.significant else ""
+
+
+def welch(a: _t.Sequence[float], b: _t.Sequence[float]) -> Welch | None:
+    """Welch's t-test of ``a`` vs ``b``; None when either side is empty.
+
+    Degenerate zero-variance sides: equal means test not-significant,
+    different means test significant (the samples are deterministic).
+    """
+    sa, sb = summarize(a), summarize(b)
+    if sa.n == 0 or sb.n == 0:
+        return None
+    va = (sa.std ** 2) / sa.n
+    vb = (sb.std ** 2) / sb.n
+    if va + vb == 0.0:
+        same = math.isclose(sa.mean, sb.mean, rel_tol=1e-12, abs_tol=0.0) \
+            or sa.mean == sb.mean
+        return Welch(0.0 if same else math.inf,
+                     float(max(sa.n + sb.n - 2, 1)), not same)
+    t = (sa.mean - sb.mean) / math.sqrt(va + vb)
+    # Welch–Satterthwaite effective degrees of freedom
+    df_num = (va + vb) ** 2
+    df_den = 0.0
+    if sa.n > 1:
+        df_den += va ** 2 / (sa.n - 1)
+    if sb.n > 1:
+        df_den += vb ** 2 / (sb.n - 1)
+    df = df_num / df_den if df_den > 0 else float(max(sa.n + sb.n - 2, 1))
+    return Welch(t, df, abs(t) > t_critical(df))

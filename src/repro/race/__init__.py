@@ -25,7 +25,7 @@ __all__ = [
     "default_targets",
     "SeededTieBreaker", "ScheduleOutcome", "ExplorationReport",
     "run_schedule", "replay", "minimize_schedule", "explore",
-    "stencil_runner", "matmul_runner",
+    "stencil_runner", "matmul_runner", "spmv_runner",
 ]
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -33,7 +33,8 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.race.explorer import (ExplorationReport, ScheduleOutcome,
                                      SeededTieBreaker, explore,
                                      matmul_runner, minimize_schedule,
-                                     replay, run_schedule, stencil_runner)
+                                     replay, run_schedule, spmv_runner,
+                                     stencil_runner)
     from repro.race.model_checker import (check_file, check_paths,
                                           check_source, check_tree,
                                           default_targets)
@@ -58,6 +59,7 @@ _LAZY = {
     "explore": "repro.race.explorer",
     "stencil_runner": "repro.race.explorer",
     "matmul_runner": "repro.race.explorer",
+    "spmv_runner": "repro.race.explorer",
 }
 
 

@@ -39,7 +39,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["SeededTieBreaker", "ScheduleOutcome", "ExplorationReport",
            "run_schedule", "replay", "minimize_schedule", "explore",
-           "stencil_runner", "matmul_runner"]
+           "stencil_runner", "matmul_runner", "spmv_runner"]
 
 #: a runner builds + runs one application inside the given environment and
 #: returns the OOC manager (or None); ``rng`` seeds app-level ordering
@@ -279,6 +279,28 @@ def stencil_runner(*, strategy: _t.Any = "multi-io", cores: int = 8,
         cfg = StencilConfig(total_bytes=total, block_bytes=block,
                             iterations=iterations)
         Stencil3D(built, cfg).run()
+        return built.manager
+    return run
+
+
+def spmv_runner(*, strategy: _t.Any = "multi-io", cores: int = 8,
+                mcdram: int = 128 << 20, ddr: int = 1 << 30,
+                block_rows: int = 16, block_bytes: int = 8 << 20,
+                vector_bytes: int = 1 << 20, couplings: int = 2,
+                iterations: int = 1, seed: int = 0) -> Runner:
+    """A runner for one iterated-SpMV configuration (explorer fixture)."""
+    def run(env: "Environment", rng: "random.Random | None") -> _t.Any:
+        from repro.apps.spmv import SpMV, SpMVConfig
+        from repro.core.api import OOCRuntimeBuilder
+
+        built = OOCRuntimeBuilder(
+            _fresh_strategy(strategy), cores=cores, mcdram_capacity=mcdram,
+            ddr_capacity=ddr, trace=False).build_into(env)
+        _permute_io_order(built.strategy, rng)
+        cfg = SpMVConfig(block_rows=block_rows, block_bytes=block_bytes,
+                         vector_bytes=vector_bytes, couplings=couplings,
+                         iterations=iterations, seed=seed)
+        SpMV(built, cfg).run()
         return built.manager
     return run
 

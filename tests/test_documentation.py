@@ -41,6 +41,9 @@ MODULES = [
     "repro.exec", "repro.exec.spec", "repro.exec.fingerprint",
     "repro.exec.cache", "repro.exec.runners", "repro.exec.engine",
     "repro.exec.context", "repro.exec.explore",
+    "repro.obs", "repro.obs.hooks", "repro.obs.spans", "repro.obs.critpath",
+    "repro.obs.stats", "repro.obs.report", "repro.obs.trend",
+    "repro.obs.html",
     "repro.trace", "repro.bench",
 ]
 

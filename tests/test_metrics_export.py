@@ -129,6 +129,26 @@ class TestDigest:
         assert d["repro_lat_seconds_count"] == 0.0
         assert "repro_lat_seconds_p50" not in d
 
+    def test_every_value_is_float(self):
+        # regression: int-valued instruments (byte counters, byte-gauge
+        # high-water marks) used to leak ints into the digest, so
+        # BENCH_*.json serialized "12" next to "12.0" across snapshots
+        reg = MetricsRegistry()
+        reg.counter("repro_moved_bytes_total").inc(4096)          # int
+        reg.gauge("repro_hbm_used_bytes").set(1 << 20)            # int
+        reg.histogram("repro_block_bytes").observe(512)           # int
+        d = digest(reg)
+        assert d["repro_hbm_used_bytes_hwm"] == 1048576.0
+        for key, value in d.items():
+            assert type(value) is float, f"{key} is {type(value).__name__}"
+
+    def test_float_digest_survives_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_hbm_used_bytes").set(3)
+        dumped = json.dumps(digest(reg), sort_keys=True)
+        assert json.loads(dumped)["repro_hbm_used_bytes_hwm"] == 3.0
+        assert "3.0" in dumped
+
 
 class TestCounterSeries:
     def test_families_summed_over_labels(self):

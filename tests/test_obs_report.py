@@ -1,0 +1,140 @@
+"""Replicate suite: spec fan-out, aggregation, HTML determinism."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, FigurePlan
+from repro.exec.spec import RunSpec
+from repro.obs.report import (SweepFigure, assemble_sweep,
+                              render_report_html, replicate_specs)
+
+
+def selftest_plan(name="SelfTest", points=("a", "b"), labels=("x", "y"),
+                  base=10.0):
+    """A deterministic figure: value = base + point index + label index."""
+    points, labels = tuple(points), tuple(labels)
+    specs = [RunSpec("selftest", {"value": base + pi * 10 + li},
+                     label=f"{name}/{point}/{label}")
+             for pi, point in enumerate(points)
+             for li, label in enumerate(labels)]
+
+    def assemble(results):
+        it = iter(results)
+        series = {point: {label: float(next(it)["value"])
+                          for label in labels}
+                  for point in points}
+        return ExperimentResult(figure=name, description=f"{name} desc",
+                                series=series, unit="units")
+
+    return FigurePlan(name, specs, assemble)
+
+
+def fake_results(specs):
+    """What the exec engine would return for selftest specs."""
+    return [{"value": spec.params["value"], "spun": 0} for spec in specs]
+
+
+class TestReplicateSpecs:
+    def test_replicate_zero_keeps_identity(self):
+        plan = selftest_plan()
+        specs = replicate_specs([plan], 3)
+        assert specs[:len(plan.specs)] == plan.specs
+        assert all("replicate" not in s.params
+                   for s in specs[:len(plan.specs)])
+
+    def test_later_replicates_get_distinct_cache_keys(self):
+        plan = selftest_plan()
+        specs = replicate_specs([plan], 3)
+        keys = {spec.key() for spec in specs}
+        assert len(keys) == len(specs)
+
+    def test_replicate_major_ordering(self):
+        plans = [selftest_plan("A"), selftest_plan("B")]
+        width = sum(len(p.specs) for p in plans)
+        specs = replicate_specs(plans, 2)
+        assert len(specs) == 2 * width
+        assert all(s.params.get("replicate") == 1 for s in specs[width:])
+
+    def test_rejects_zero_replicates(self):
+        with pytest.raises(ValueError):
+            replicate_specs([selftest_plan()], 0)
+
+
+class TestAssembleSweep:
+    def test_stats_aggregate_across_replicates(self):
+        plan = selftest_plan()
+        specs = replicate_specs([plan], 3)
+        figures = assemble_sweep([plan], 3, fake_results(specs))
+        (fig,) = figures
+        assert isinstance(fig, SweepFigure)
+        assert fig.stats["a"]["x"].n == 3
+        # deterministic selftest: all replicates identical
+        assert fig.stats["a"]["x"].mean == pytest.approx(10.0)
+        assert fig.stats["a"]["x"].ci95 == 0.0
+
+    def test_baseline_gets_tests_others_get_welch(self):
+        plan = selftest_plan()
+        specs = replicate_specs([plan], 2)
+        (fig,) = assemble_sweep([plan], 2, fake_results(specs),
+                                baseline="x")
+        assert fig.baseline == "x"
+        assert fig.tests["a"]["x"] is None
+        # y differs from x deterministically -> significant
+        assert fig.tests["a"]["y"].significant
+
+    def test_unknown_baseline_silently_dropped(self):
+        plan = selftest_plan()
+        specs = replicate_specs([plan], 2)
+        (fig,) = assemble_sweep([plan], 2, fake_results(specs),
+                                baseline="nope")
+        assert fig.baseline is None
+        assert all(t is None for row in fig.tests.values()
+                   for t in row.values())
+
+    def test_result_count_mismatch_raises(self):
+        plan = selftest_plan()
+        with pytest.raises(ValueError):
+            assemble_sweep([plan], 2, fake_results(plan.specs))
+
+    def test_multi_plan_offsets(self):
+        plans = [selftest_plan("A", base=1.0), selftest_plan("B", base=2.0)]
+        specs = replicate_specs(plans, 2)
+        figs = assemble_sweep(plans, 2, fake_results(specs))
+        assert [f.figure for f in figs] == ["A", "B"]
+        assert figs[0].stats["a"]["x"].mean == pytest.approx(1.0)
+        assert figs[1].stats["a"]["x"].mean == pytest.approx(2.0)
+
+    def test_text_render_lists_every_series(self):
+        plan = selftest_plan()
+        specs = replicate_specs([plan], 2)
+        (fig,) = assemble_sweep([plan], 2, fake_results(specs),
+                                baseline="x")
+        text = fig.render()
+        assert "x=" in text and "y=" in text and "baseline=x" in text
+
+
+class TestHtml:
+    def figures(self, replicates=2, baseline="x"):
+        plan = selftest_plan()
+        specs = replicate_specs([plan], replicates)
+        return assemble_sweep([plan], replicates, fake_results(specs),
+                              baseline=baseline)
+
+    def test_self_contained_no_external_assets(self):
+        html = render_report_html(self.figures())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "<style>" in html
+        for needle in ("http://", "https://", "<script", "src="):
+            assert needle not in html.replace(
+                "http://www.w3.org/2000/svg", "")
+
+    def test_deterministic_bytes(self):
+        assert render_report_html(self.figures()) == \
+            render_report_html(self.figures())
+
+    def test_significance_marker_rendered(self):
+        html = render_report_html(self.figures())
+        assert '<span class="sig">*</span>' in html
+
+    def test_values_and_labels_present(self):
+        html = render_report_html(self.figures())
+        assert "SelfTest" in html and "units" in html

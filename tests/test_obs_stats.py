@@ -1,0 +1,82 @@
+"""Small-sample stats: Sample summaries and Welch's t-test."""
+
+import math
+
+import pytest
+
+from repro.obs.stats import Sample, summarize, t_critical, welch
+
+
+class TestSummarize:
+    def test_empty(self):
+        sample = summarize([])
+        assert sample == Sample(0, 0.0, 0.0, 0.0)
+
+    def test_single_value_has_no_spread(self):
+        sample = summarize([4.2])
+        assert sample.n == 1
+        assert sample.mean == pytest.approx(4.2)
+        assert sample.std == 0.0
+        assert sample.ci95 == 0.0
+
+    def test_known_mean_and_std(self):
+        sample = summarize([2.0, 4.0, 6.0])
+        assert sample.mean == pytest.approx(4.0)
+        assert sample.std == pytest.approx(2.0)      # ddof=1
+        # t(df=2, 95%) = 4.303; CI = t * s / sqrt(n)
+        assert sample.ci95 == pytest.approx(4.303 * 2.0 / math.sqrt(3))
+
+    def test_low_high_bracket_mean(self):
+        sample = summarize([1.0, 2.0, 3.0, 4.0])
+        assert sample.low < sample.mean < sample.high
+        assert sample.high - sample.mean == pytest.approx(sample.ci95)
+
+
+class TestTCritical:
+    def test_table_endpoints(self):
+        assert t_critical(1) == pytest.approx(12.706)
+        assert t_critical(30) == pytest.approx(2.042)
+
+    def test_normal_limit_past_table(self):
+        assert t_critical(31) == pytest.approx(1.960)
+        assert t_critical(1000) == pytest.approx(1.960)
+
+    def test_fractional_df_floor(self):
+        assert t_critical(2.7) == pytest.approx(4.303)
+
+
+class TestWelch:
+    def test_empty_side_returns_none(self):
+        assert welch([], [1.0]) is None
+        assert welch([1.0], []) is None
+
+    def test_clearly_different_samples_significant(self):
+        a = [10.0, 10.1, 9.9, 10.05]
+        b = [20.0, 20.2, 19.8, 20.1]
+        result = welch(a, b)
+        assert result.significant
+        assert result.marker() == "*"
+        assert result.t < 0          # a below b
+
+    def test_identical_samples_not_significant(self):
+        a = [5.0, 5.1, 4.9]
+        result = welch(a, list(a))
+        assert not result.significant
+        assert result.marker() == ""
+
+    def test_zero_variance_equal_means(self):
+        result = welch([3.0, 3.0], [3.0, 3.0])
+        assert not result.significant
+        assert result.t == 0.0
+
+    def test_zero_variance_different_means(self):
+        # deterministic replicates: any difference is real
+        result = welch([3.0, 3.0], [4.0, 4.0])
+        assert result.significant
+        assert math.isinf(result.t)
+
+    def test_welch_satterthwaite_df_bounded(self):
+        a = [1.0, 2.0, 3.0, 4.0, 5.0]
+        b = [1.1, 2.1, 2.9, 4.2, 5.1]
+        result = welch(a, b)
+        assert 1.0 <= result.df <= len(a) + len(b) - 2
