@@ -47,6 +47,14 @@ def test_lint_regression() -> None:
     assert lint_wall < FULL_LINT_CEILING_S
     assert guide_wall < GUIDANCE_CEILING_S
     assert len(guidance.sites) > 0
+    # the v2 phase pass (interprocedural summaries + segmentation) rides
+    # inside build_guidance: its cost is inside GUIDANCE_CEILING_S, and
+    # the apps tree must keep segmenting into a non-empty timeline
+    phases = guidance.phase_table()
+    assert phases, "apps tree produced no phase timeline"
+    sites_with_interval = sum(
+        1 for s in guidance.sites if guidance.first_phase(s) is not None)
+    assert sites_with_interval > 0
 
     metrics = {
         "full_tree": {
@@ -58,6 +66,11 @@ def test_lint_regression() -> None:
         "guidance_apps": {
             "wall_s": guide_wall,
             "sites": len(guidance.sites),
+        },
+        "phase_analysis": {
+            "phases": len(phases),
+            "sites_with_interval": sites_with_interval,
+            "schema": guidance.schema,
         },
     }
     path = write_bench("lint", metrics)

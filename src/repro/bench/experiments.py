@@ -414,7 +414,7 @@ def fig9_matmul_speedup(scale: Scale = Scale.SMALL,
 #: series labels for the guided-placement comparison (hbm-only is
 #: excluded: it refuses overflow working sets by design)
 _GUIDED_STRATEGIES = ("naive", "ddr-only", "single-io", "no-io",
-                      "multi-io", "static-guided")
+                      "multi-io", "static-guided", "phase-guided")
 
 
 def guided_plan(scale: Scale = Scale.SMALL,
@@ -460,6 +460,8 @@ def guided_plan(scale: Scale = Scale.SMALL,
             notes[f"naive_time_{app}_s"] = round(times[app]["naive"], 4)
             notes[f"guided_vs_naive_{app}"] = round(
                 times[app]["naive"] / times[app]["static-guided"], 4)
+            notes[f"phase_vs_static_{app}"] = round(
+                times[app]["static-guided"] / times[app]["phase-guided"], 4)
         series = speedup_table(times, baseline="naive")
         return ExperimentResult(
             figure="Guided",

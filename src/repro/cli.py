@@ -29,10 +29,17 @@ Commands
     directories or importable modules.  Exit codes: 0 clean, 1 findings,
     2 the analyzer itself failed (the offending file and function are
     named on stderr).  ``--select REP3`` filters by rule-id prefix;
-    ``--guidance PATH`` also writes a placement-guidance file.
+    ``--guidance PATH`` also writes a placement-guidance file;
+    ``--format sarif`` emits a canonical SARIF 2.1.0 document on stdout
+    (summary on stderr).  Warm re-runs are answered from the
+    fingerprint-keyed ``.repro-cache/lint/`` analysis cache;
+    ``--no-cache`` bypasses it.
 ``guide``
     Emit the bwlint placement-guidance file (canonical JSON, SHA-256
-    identity) that ``--strategy static-guided`` consumes.
+    identity) that ``--strategy static-guided`` and ``--strategy
+    phase-guided`` consume.  ``--phases`` prints the deterministic
+    human-readable phase-timeline render instead of the JSON;
+    ``--no-cache`` bypasses the analysis cache.
 ``metrics``
     Run one application under the :mod:`repro.metrics` telemetry
     subsystem and export the flight-recorder output (``--format
@@ -573,7 +580,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import RULES, AnalyzerCrash, check_paths
+    from repro.lint import RULES, AnalyzerCrash
 
     if args.rules:
         for rule in RULES.values():
@@ -585,7 +592,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     try:
-        report = check_paths(args.targets)
+        from repro.lint.cache import AnalysisCache, cached_check_paths
+        cache = AnalysisCache(enabled=not args.no_cache)
+        report = cached_check_paths(args.targets, cache=cache)
     except FileNotFoundError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
@@ -605,15 +614,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.select:
         prefixes = tuple(args.select)
         findings = [f for f in findings if f.rule.startswith(prefixes)]
-    for finding in findings:
-        print(finding.render())
     from repro.lint.findings import Severity
     errors = [f for f in findings if f.severity is Severity.ERROR]
     warnings = [f for f in findings if f.severity is Severity.WARNING]
-    print(f"{len(errors)} error(s), {len(warnings)} warning(s)")
+    if args.format == "sarif":
+        # stdout carries only the artifact; the human summary goes to
+        # stderr so `repro lint --format sarif > findings.sarif` is clean
+        from repro.lint.sarif import to_sarif
+        print(to_sarif(findings), end="")
+        print(f"{len(errors)} error(s), {len(warnings)} warning(s)",
+              file=sys.stderr)
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"{len(errors)} error(s), {len(warnings)} warning(s)")
     if args.guidance:
-        from repro.lint import build_guidance
-        guide = build_guidance(args.targets)
+        from repro.lint.cache import cached_build_guidance
+        guide = cached_build_guidance(args.targets, cache=cache)
         guide.write(args.guidance)
         print(f"guidance for {len(guide.sites)} site(s) written to "
               f"{args.guidance} (sha256 {guide.identity()[:16]})",
@@ -624,11 +641,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_guide(args: argparse.Namespace) -> int:
     """Emit a bwlint placement-guidance file for the given sources."""
-    from repro.lint import AnalyzerCrash, build_guidance
+    from repro.lint import AnalyzerCrash
+    from repro.lint.cache import AnalysisCache, cached_build_guidance
 
     targets = args.targets or ["repro.apps"]
     try:
-        guide = build_guidance(targets)
+        guide = cached_build_guidance(
+            targets, cache=AnalysisCache(enabled=not args.no_cache))
     except FileNotFoundError as exc:
         print(f"guide: {exc}", file=sys.stderr)
         return 2
@@ -637,6 +656,10 @@ def _cmd_guide(args: argparse.Namespace) -> int:
               f"function {exc.function}: "
               f"{type(exc.cause).__name__}: {exc.cause}", file=sys.stderr)
         return 2
+    if args.phases:
+        from repro.lint.guidance import render_timeline
+        print(render_timeline(guide), end="")
+        return 0
     if args.output:
         guide.write(args.output)
         print(f"guidance for {len(guide.sites)} site(s) written to "
@@ -850,6 +873,13 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     p_lint.add_argument("--guidance", metavar="PATH",
                         help="also write a bwlint placement-guidance file "
                              "for the lint targets")
+    p_lint.add_argument("--format", default="text",
+                        choices=["text", "sarif"],
+                        help="findings output: human text (default) or a "
+                             "canonical SARIF 2.1.0 document on stdout")
+    p_lint.add_argument("--no-cache", action="store_true",
+                        help="re-analyze even when a warm .repro-cache/ "
+                             "entry exists for these targets")
     p_lint.set_defaults(func=_cmd_lint)
 
     p_guide = sub.add_parser(
@@ -859,6 +889,12 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                               "names (default: repro.apps)")
     p_guide.add_argument("-o", "--output", metavar="PATH",
                          help="write here instead of stdout")
+    p_guide.add_argument("--phases", action="store_true",
+                         help="print the v2 phase timeline (deterministic "
+                              "human-readable render) instead of the JSON")
+    p_guide.add_argument("--no-cache", action="store_true",
+                         help="re-analyze even when a warm .repro-cache/ "
+                              "entry exists for these targets")
     p_guide.set_defaults(func=_cmd_guide)
 
     p_race = sub.add_parser(

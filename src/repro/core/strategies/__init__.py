@@ -8,9 +8,10 @@ from repro.core.strategies.single_io import SingleIOThreadStrategy
 from repro.core.strategies.no_io import NoIOThreadStrategy
 from repro.core.strategies.multi_io import MultiIOThreadStrategy
 from repro.core.strategies.static_guided import StaticGuidedStrategy
+from repro.core.strategies.phase_guided import PhaseGuidedStrategy
 
 #: registry used by the benchmark harness (paper series names, plus the
-#: bwlint-guided static placement added on top of them)
+#: bwlint-guided placements added on top of them)
 STRATEGIES: dict[str, type[Strategy]] = {
     "naive": NaiveStrategy,
     "ddr-only": DDROnlyStrategy,
@@ -19,6 +20,7 @@ STRATEGIES: dict[str, type[Strategy]] = {
     "no-io": NoIOThreadStrategy,
     "multi-io": MultiIOThreadStrategy,
     "static-guided": StaticGuidedStrategy,
+    "phase-guided": PhaseGuidedStrategy,
 }
 
 
@@ -37,5 +39,6 @@ __all__ = [
     "Strategy",
     "NaiveStrategy", "DDROnlyStrategy", "HBMOnlyStrategy",
     "SingleIOThreadStrategy", "NoIOThreadStrategy", "MultiIOThreadStrategy",
-    "StaticGuidedStrategy", "STRATEGIES", "make_strategy",
+    "StaticGuidedStrategy", "PhaseGuidedStrategy", "STRATEGIES",
+    "make_strategy",
 ]

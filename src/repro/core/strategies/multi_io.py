@@ -89,7 +89,7 @@ class MultiIOThreadStrategy(Strategy):
 
     def task_finished(self, pe: PE, task: OOCTask) -> _t.Generator:
         mgr = self._mgr()
-        victims = mgr.eviction.post_task_victims(task, mgr.tracker)
+        victims = self.post_task_victims(task)
         if self.evict_mode == "worker":
             for victim in victims:
                 if victim.in_hbm and not victim.in_use and not victim.pinned:
@@ -103,6 +103,16 @@ class MultiIOThreadStrategy(Strategy):
         # (the paper wakes only the local IO thread, which can deadlock
         # when capacity is freed logically rather than by an eviction).
         self._wake_after_evict(pe, True)
+
+    def post_task_victims(self, task: OOCTask) -> list[DataBlock]:
+        """Eviction candidates after ``task`` completed (overridable).
+
+        The base policy delegates to the manager's eviction policy;
+        subclasses with more context (e.g. a phase timeline proving a
+        block is about to be reused) may filter the list.
+        """
+        mgr = self._mgr()
+        return mgr.eviction.post_task_victims(task, mgr.tracker)
 
     def _wake_after_evict(self, pe: PE, evicted: bool) -> None:
         self.gates[pe.id].open()
@@ -161,4 +171,20 @@ class MultiIOThreadStrategy(Strategy):
                     break
             if progress or gate.is_open:
                 continue
+            # Idle: let subclasses use the spare IO bandwidth (e.g.
+            # phase-guided lookahead prefetch) before parking on the gate.
+            busy = yield from self.io_idle_work(pe, lane)
+            if busy:
+                continue
             yield gate.wait()
+
+    def io_idle_work(self, pe: PE, lane: str) -> _t.Generator:
+        """Extra work for an otherwise idle IO thread (generator).
+
+        Called when the wait queue is drained and no evictions are
+        pending, before the thread parks on its gate.  Returns True if
+        progress was made (the loop re-runs instead of sleeping).  The
+        base strategy has nothing to do off the demand path.
+        """
+        return False
+        yield  # pragma: no cover

@@ -4,7 +4,7 @@
 directed edges, covering the statement shapes application and strategy
 code actually uses: ``if``/``elif``/``else``, ``while``/``for`` (with
 ``break``/``continue`` and loop-``else``), ``try``/``except``/``else``/
-``finally``, ``with``, ``return`` and ``raise``.  Compound statements are
+``finally``, ``with``, ``match``, ``return`` and ``raise``.  Compound statements are
 *shallow* — an ``ast.If`` node appears in the block that evaluates its
 test, while its branches live in successor blocks — so a transfer
 function over a block never sees nested-branch statements.
@@ -76,6 +76,15 @@ class CFG:
             lines.append(f"bb{block.index}{tag}: {block.describe()} "
                          f"-> {succs}")
         return "\n".join(lines)
+
+
+def _pattern_irrefutable(pattern: ast.pattern) -> bool:
+    """True when a match pattern always binds (``case _:`` / ``case x:``)."""
+    if isinstance(pattern, ast.MatchAs):
+        return pattern.pattern is None or _pattern_irrefutable(pattern.pattern)
+    if isinstance(pattern, ast.MatchOr):
+        return any(_pattern_irrefutable(p) for p in pattern.patterns)
+    return False
 
 
 class _Unreachable(Exception):
@@ -245,6 +254,27 @@ class _Builder:
         self.body(node.body)
 
     _stmt_AsyncWith = _stmt_With
+
+    def _stmt_Match(self, node: ast.Match) -> None:
+        """``match``: the subject evaluates in the current block, each
+        case body is a branch to the join.  Without an irrefutable final
+        case (a bare ``case _:`` with no guard) the subject may match
+        nothing, so the header keeps a direct fall-through edge."""
+        self._emit(node)
+        head = _t.cast(int, self.cur)
+        after = self.cfg.new_block().index
+        irrefutable = False
+        for case in node.cases:
+            block = self.cfg.new_block().index
+            self.cfg.add_edge(head, block)
+            self.cur = block
+            self.body(case.body)
+            self._edge_from_cur(after)
+            if case.guard is None and _pattern_irrefutable(case.pattern):
+                irrefutable = True
+        if not irrefutable:
+            self.cfg.add_edge(head, after)
+        self.cur = after
 
 
 def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:

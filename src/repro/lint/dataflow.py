@@ -30,7 +30,8 @@ import typing as _t
 from repro.lint.cfg import CFG
 
 __all__ = [
-    "Sym", "DataflowProblem", "solve",
+    "Sym", "sym_add", "sym_bin", "sym_mul",
+    "DataflowProblem", "solve",
     "ReachingDefinitions", "Liveness",
     "Loop", "loop_nests", "iter_loops",
 ]
@@ -59,6 +60,42 @@ class Sym:
         if self.value is None:
             return self.expr
         return f"{self.expr}={self.value:g}"
+
+
+_SYM_OPS: dict[str, _t.Callable[[float, float], float]] = {
+    "+": lambda x, y: x + y, "-": lambda x, y: x - y,
+    "*": lambda x, y: x * y, "/": lambda x, y: x / y,
+    "//": lambda x, y: x // y, "%": lambda x, y: x % y,
+    "**": lambda x, y: x ** y,
+}
+
+
+def sym_bin(op: str, a: Sym, b: Sym) -> Sym:
+    """Combine two :class:`Sym` under a binary operator, tracking both the
+    expression string and (when both sides resolved) the value."""
+    value: float | None = None
+    if a.known() and b.known():
+        try:
+            value = _SYM_OPS[op](a.value, b.value)
+        except (OverflowError, ValueError, ZeroDivisionError):
+            value = None
+    return Sym(f"({a.expr} {op} {b.expr})", value)
+
+
+def sym_add(a: Sym | None, b: Sym) -> Sym:
+    """Accumulate ``b`` into ``a`` (None acts as the additive identity)."""
+    if a is None:
+        return b
+    return sym_bin("+", a, b)
+
+
+def sym_mul(a: Sym, b: Sym) -> Sym:
+    """Multiply two Syms, eliding the multiplicative identity."""
+    if b.expr == "1" or (b.known() and b.value == 1.0):
+        return a
+    if a.expr == "1" or (a.known() and a.value == 1.0):
+        return b
+    return sym_bin("*", a, b)
 
 
 class DataflowProblem:
@@ -163,7 +200,26 @@ def stmt_defs(stmt: ast.stmt) -> list[str]:
         return [stmt.name]
     if isinstance(stmt, (ast.Import, ast.ImportFrom)):
         return [(a.asname or a.name).split(".")[0] for a in stmt.names]
+    if isinstance(stmt, ast.Match):
+        # capture-pattern bindings are per-case, but the Match header is
+        # the only statement the shallow CFG keeps — attach them there
+        # (a may-definition reaching every case block)
+        return _pattern_names(stmt)
     return []
+
+
+def _pattern_names(stmt: ast.Match) -> list[str]:
+    """Names any case pattern of a ``match`` statement may bind."""
+    names: list[str] = []
+    for case in stmt.cases:
+        for node in ast.walk(case.pattern):
+            if isinstance(node, ast.MatchAs) and node.name is not None:
+                names.append(node.name)
+            elif isinstance(node, ast.MatchStar) and node.name is not None:
+                names.append(node.name)
+            elif isinstance(node, ast.MatchMapping) and node.rest is not None:
+                names.append(node.rest)
+    return names
 
 
 def _expr_uses(expr: ast.expr | None) -> list[str]:
@@ -188,6 +244,17 @@ def stmt_uses(stmt: ast.stmt) -> list[str]:
         return _expr_uses(stmt.test)
     if isinstance(stmt, ast.While):
         return _expr_uses(stmt.test)
+    if isinstance(stmt, ast.Match):
+        # the subject plus anything the patterns and guards compare
+        # against; case *bodies* live in their own CFG blocks
+        out = _expr_uses(stmt.subject)
+        for case in stmt.cases:
+            for node in ast.walk(case.pattern):
+                if isinstance(node, ast.Name) \
+                        and isinstance(node.ctx, ast.Load):
+                    out.append(node.id)
+            out.extend(_expr_uses(case.guard))
+        return out
     if isinstance(stmt, (ast.For, ast.AsyncFor)):
         return _expr_uses(stmt.iter)
     if isinstance(stmt, (ast.With, ast.AsyncWith)):
@@ -364,6 +431,9 @@ def loop_nests(func: ast.FunctionDef | ast.AsyncFunctionDef,
                 loops.extend(walk(stmt.finalbody, depth))
             elif isinstance(stmt, (ast.With, ast.AsyncWith)):
                 loops.extend(walk(stmt.body, depth))
+            elif isinstance(stmt, ast.Match):
+                for case in stmt.cases:
+                    loops.extend(walk(case.body, depth))
         return loops
 
     return walk(func.body, 0)

@@ -16,6 +16,15 @@ believed" — :func:`repro.exec.fingerprint.code_fingerprint` folds it
 into the experiment cache key exactly like the solver backend flag, and
 a stale guidance file invalidates cached results instead of silently
 steering placement.
+
+Schema 2 adds the *phase timeline* (:mod:`repro.lint.phases`): a
+top-level ``phases`` table (one row per driver dispatch, globally
+indexed across the analyzed modules in discovery order) and, per site,
+the liveness interval (``first_phase``/``last_phase``) plus per-phase
+read/write volumes.  Schema-1 files still load — and round-trip
+byte-identically — so existing ``$REPRO_GUIDANCE`` files keep working;
+:class:`~repro.core.strategies.phase_guided.PhaseGuidedStrategy` simply
+degrades to static-guided behaviour when the phase table is absent.
 """
 
 from __future__ import annotations
@@ -27,10 +36,10 @@ import os
 import typing as _t
 
 __all__ = ["GuidanceFile", "build_guidance", "load_guidance",
-           "GUIDANCE_SCHEMA"]
+           "render_timeline", "GUIDANCE_SCHEMA"]
 
 #: bumped on any change to the record layout below
-GUIDANCE_SCHEMA = 1
+GUIDANCE_SCHEMA = 2
 
 
 def _num(value: float | None) -> int | float | None:
@@ -49,12 +58,16 @@ class GuidanceFile:
     #: site id ("Cls.name") -> record dict, exactly as serialized
     sites: dict[str, dict]
     schema: int = GUIDANCE_SCHEMA
+    #: schema >= 2: global phase table, one record per driver dispatch
+    phases: list[dict] = dataclasses.field(default_factory=list)
 
     def dumps(self) -> str:
-        doc = {
+        doc: dict[str, _t.Any] = {
             "schema": self.schema,
             "sites": {sid: self.sites[sid] for sid in sorted(self.sites)},
         }
+        if self.schema >= 2:
+            doc["phases"] = self.phases
         return json.dumps(doc, sort_keys=True, indent=2) + "\n"
 
     def identity(self) -> str:
@@ -68,7 +81,8 @@ class GuidanceFile:
     @classmethod
     def loads(cls, text: str) -> GuidanceFile:
         doc = json.loads(text)
-        return cls(sites=dict(doc["sites"]), schema=int(doc["schema"]))
+        return cls(sites=dict(doc["sites"]), schema=int(doc["schema"]),
+                   phases=list(doc.get("phases", ())))
 
     def tier(self, site_id: str) -> str | None:
         record = self.sites.get(site_id)
@@ -86,11 +100,47 @@ class GuidanceFile:
             return len(self.sites)
         return int(record["fetch_order"])
 
+    # -- schema 2 accessors (all degrade to None on schema-1 files) ------
+
+    def first_phase(self, site_id: str) -> int | None:
+        """First phase that declares or touches ``site_id``, if known."""
+        record = self.sites.get(site_id)
+        if record is None:
+            return None
+        return record.get("first_phase")
+
+    def last_phase(self, site_id: str) -> int | None:
+        """Last phase that declares or touches ``site_id``, if known."""
+        record = self.sites.get(site_id)
+        if record is None:
+            return None
+        return record.get("last_phase")
+
+    def phase_table(self) -> list[dict]:
+        """The global phase table (empty on schema-1 files)."""
+        return list(self.phases)
+
+    def entry_phase(self, entry_id: str) -> int | None:
+        """Earliest phase whose message closure contains ``entry_id``.
+
+        ``entry_id`` is a ``"Cls.entry"`` name, the same shape the
+        runtime can build from a task's chare type and entry method.
+        """
+        hits = [ph["index"] for ph in self.phases
+                if entry_id in ph.get("entries", ())]
+        return min(hits) if hits else None
+
 
 def _sym_record(sym) -> dict | None:
     if sym is None:
         return None
     return {"expr": sym.expr, "bytes": _num(sym.value)}
+
+
+def _trip_record(sym) -> dict | None:
+    if sym is None:
+        return None
+    return {"expr": sym.expr, "count": _num(sym.value)}
 
 
 def build_guidance(paths: _t.Iterable[str | os.PathLike]) -> GuidanceFile:
@@ -101,6 +151,9 @@ def build_guidance(paths: _t.Iterable[str | os.PathLike]) -> GuidanceFile:
     from repro.lint.traffic import analyze_tree
 
     collected = []
+    phase_table: list[dict] = []
+    #: site id -> ("phases" rows, first_phase, last_phase), global indices
+    site_phases: dict[str, tuple[list[dict], int, int]] = {}
     for file in iter_python_files(paths):
         with open(file, encoding="utf-8") as fh:
             source = fh.read()
@@ -112,6 +165,34 @@ def build_guidance(paths: _t.Iterable[str | os.PathLike]) -> GuidanceFile:
         for site in module.sites.values():
             if site.order >= 0 or site.reads or site.writes:
                 collected.append(site)
+        timeline = module.timeline
+        if timeline is None or timeline.suppressed or not timeline.phases:
+            continue
+        # global phase indices: module discovery order stacks timelines
+        offset = len(phase_table)
+        for phase in timeline.phases:
+            phase_table.append({
+                "index": offset + phase.index,
+                "file": timeline.file,
+                "label": phase.label,
+                "line": phase.line,
+                "trips": _trip_record(phase.trips),
+                "entries": list(phase.entries),
+            })
+        touched = set(timeline.site_traffic) | set(timeline.site_declared)
+        for site_id in touched:
+            interval = timeline.interval(site_id)
+            if interval is None:
+                continue
+            rows = [
+                {"phase": offset + p,
+                 "reads": _sym_record(reads),
+                 "writes": _sym_record(writes)}
+                for p, (reads, writes)
+                in sorted(timeline.site_traffic.get(site_id, {}).items())
+            ]
+            site_phases[site_id] = (rows, offset + interval[0],
+                                    offset + interval[1])
 
     # global fetch order: module discovery order, then first-touch order
     collected.sort(key=lambda s: (s.file, s.order, s.id))
@@ -130,6 +211,7 @@ def build_guidance(paths: _t.Iterable[str | os.PathLike]) -> GuidanceFile:
         else:
             tier = "hbm"
             priority = (total / size) if known else 1.0
+        rows, first, last = site_phases.get(site.id, ([], None, None))
         sites[site.id] = {
             "class": site.cls,
             "name": site.name,
@@ -141,11 +223,60 @@ def build_guidance(paths: _t.Iterable[str | os.PathLike]) -> GuidanceFile:
             "tier": tier,
             "priority": _num(priority),
             "fetch_order": rank,
+            "first_phase": first,
+            "last_phase": last,
+            "phases": rows,
         }
-    return GuidanceFile(sites=sites)
+    return GuidanceFile(sites=sites, phases=phase_table)
 
 
 def load_guidance(path: str | os.PathLike) -> GuidanceFile:
     """Read a guidance file produced by :func:`build_guidance`."""
     with open(path, encoding="utf-8") as fh:
         return GuidanceFile.loads(fh.read())
+
+
+def _volume(record: dict | None) -> str:
+    if record is None:
+        return "-"
+    if record["bytes"] is not None:
+        return str(record["bytes"])
+    return f"?({record['expr']})"
+
+
+def render_timeline(guidance: GuidanceFile) -> str:
+    """Human-readable, deterministic render of the v2 phase timeline.
+
+    The same renderer backs ``repro guide --phases`` and the golden
+    snapshot tests, so the CLI output cannot drift from what the tests
+    pin down.
+    """
+    if not guidance.phases:
+        return "(no phase timeline: schema-1 guidance or no driver dispatches)\n"
+    lines: list[str] = []
+    for ph in guidance.phases:
+        trips = ph.get("trips")
+        if trips is None:
+            shown = "?"
+        elif trips["count"] is not None:
+            shown = str(trips["count"])
+        else:
+            shown = f"?({trips['expr']})"
+        lines.append(f"phase {ph['index']}: {ph['label']} "
+                     f"[{ph['file']}:{ph['line']}] trips={shown}")
+        for entry in ph.get("entries", ()):
+            lines.append(f"  entry {entry}")
+        for site_id in sorted(guidance.sites):
+            record = guidance.sites[site_id]
+            for row in record.get("phases", ()):
+                if row["phase"] != ph["index"]:
+                    continue
+                lines.append(
+                    f"  site {site_id} reads={_volume(row['reads'])} "
+                    f"writes={_volume(row['writes'])}")
+        for site_id in sorted(guidance.sites):
+            record = guidance.sites[site_id]
+            if record.get("last_phase") == ph["index"] \
+                    and ph["index"] + 1 < len(guidance.phases):
+                lines.append(f"  dead-after {site_id}")
+    return "\n".join(lines) + "\n"

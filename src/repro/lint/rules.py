@@ -92,6 +92,28 @@ _ALL = [
          "two dependence handles in one entry are bound to the same block "
          "site with different intents — the runtime will pick one "
          "arbitrarily when refcounting and writeback cannot honour both"),
+    # -- bwlint v2 phase-ordered analysis (repro.lint.phases) ----------------
+    Rule("REP310", Severity.WARNING, "phase-dead-still-resident",
+         "a block's last kernel touch is phases before the program ends, "
+         "yet later phases need more HBM than the tier holds while the "
+         "dead block stays resident — schedule an eviction at its last "
+         "phase boundary"),
+    Rule("REP311", Severity.ERROR, "cross-phase-intent-conflict",
+         "a block is read in an earlier phase than any phase that writes "
+         "it — the first read observes bytes no kernel has produced yet"),
+    Rule("REP312", Severity.WARNING, "fetch-before-first-use",
+         "a [prefetch] entry declares a dependence whose kernels in that "
+         "phase never touch it while a later phase does — the fetch is "
+         "scheduled phases early and holds HBM capacity across the gap"),
+    Rule("REP313", Severity.ERROR, "phase-footprint-exceeds-hbm",
+         "the distinct blocks declared by all [prefetch] entries of one "
+         "phase exceed the HBM tier by their static sizes — the phase "
+         "cannot run fully resident no matter the eviction order"),
+    Rule("REP314", Severity.WARNING, "unreachable-entry",
+         "an @entry method's name is never dispatched by any literal "
+         "send/broadcast in the module although other entries are — the "
+         "method (and any blocks only it declares) is dead code to the "
+         "message graph"),
     # -- runtime sanitizer ("simsan") ----------------------------------------
     Rule("SAN201", Severity.ERROR, "refcount-leak",
          "a block still holds a non-zero refcount at quiescence — some "

@@ -26,6 +26,7 @@ import dataclasses
 import os
 import typing as _t
 
+from repro.lint.dataflow import Sym
 from repro.lint.findings import Finding, LintReport
 from repro.lint.rules import STATIC_RULES
 
@@ -209,6 +210,14 @@ class _KernelUse:
     unknown: bool
     #: the call node itself (the traffic analyzer reads kwargs off it)
     call: ast.Call | None = None
+    #: the node *in the analyzed entry's body* that launches this kernel —
+    #: the kernel call itself for direct launches, the helper call site
+    #: for summary-expanded ones (loop containment tests use this)
+    anchor: ast.Call | None = None
+    #: pre-folded traffic factor from the helper context (traffic_scale x
+    #: helper-internal trips); None means "direct use, evaluate in the
+    #: entry's own scope"
+    factor: Sym | None = None
 
 
 def _local_defs(func: ast.FunctionDef | ast.AsyncFunctionDef
@@ -276,51 +285,19 @@ def _class_helper_methods(cls: ast.ClassDef | None,
 
 def _collect_kernel_uses(func: ast.FunctionDef,
                          cls: ast.ClassDef | None = None,
-                         aliases: frozenset[str] = _ENTRY_NAMES,
-                         _visited: frozenset[str] = frozenset(),
-                         _depth: int = 0) -> list[_KernelUse]:
-    """Kernel calls reachable from ``func``'s body.
+                         aliases: frozenset[str] = _ENTRY_NAMES
+                         ) -> list[_KernelUse]:
+    """Kernel calls reachable from ``func``'s body (interprocedural).
 
-    ``self.helper()`` calls to non-entry methods of the same class are
-    inlined (depth-limited, cycle-safe), so kernels launched through
-    nested helpers are attributed to the calling entry instead of falling
-    through to unknown-suppression.
+    ``self.helper()`` calls to non-entry methods of the same class
+    resolve through per-method summaries (:mod:`repro.lint.callgraph`) —
+    complete at any call depth, recursion-widened — so kernels launched
+    through nested helpers are attributed to the calling entry instead
+    of falling through to unknown-suppression.
     """
-    local_defs = _local_defs(func)
-    helpers = _class_helper_methods(cls, aliases) if _depth < 3 else {}
-    uses: list[_KernelUse] = []
-    for node in ast.walk(func):
-        if not isinstance(node, ast.Call):
-            continue
-        if _is_self_call(node, "kernel", local_defs):
-            reads_expr: ast.expr | None = None
-            writes_expr: ast.expr | None = None
-            # kernel(flops, reads, writes, ...) — positional or keyword
-            if len(node.args) >= 2:
-                reads_expr = node.args[1]
-            if len(node.args) >= 3:
-                writes_expr = node.args[2]
-            for kw in node.keywords:
-                if kw.arg == "reads":
-                    reads_expr = kw.value
-                elif kw.arg == "writes":
-                    writes_expr = kw.value
-            reads, r_unknown = _block_attrs(reads_expr, local_defs)
-            writes, w_unknown = _block_attrs(writes_expr, local_defs)
-            uses.append(_KernelUse(line=node.lineno, reads=reads,
-                                   writes=writes,
-                                   unknown=r_unknown or w_unknown,
-                                   call=node))
-            continue
-        # transitive helper inlining: self.helper() / aliased equivalents
-        fn = node.func
-        if isinstance(fn, ast.Attribute) and fn.attr in helpers \
-                and fn.attr not in _visited and fn.attr != func.name \
-                and _is_self_expr(fn.value, local_defs):
-            uses.extend(_collect_kernel_uses(
-                helpers[fn.attr], cls, aliases,
-                _visited | {fn.attr}, _depth + 1))
-    return uses
+    # lazy: callgraph imports this module's extraction primitives
+    from repro.lint.callgraph import collect_kernel_uses
+    return collect_kernel_uses(func, cls, aliases)
 
 
 def _collect_declared_blocks(func: ast.FunctionDef) -> list[tuple[str, int]]:

@@ -33,12 +33,16 @@ import ast
 import dataclasses
 import typing as _t
 
-from repro.lint.dataflow import Loop, Sym, iter_loops, loop_nests
+from repro.lint.dataflow import (Loop, Sym, iter_loops, loop_nests,
+                                 sym_add as _sym_add, sym_bin as _sym_bin,
+                                 sym_mul as _sym_mul)
+from repro.lint.callgraph import collect_kernel_uses
+from repro.lint.callgraph import entry_signatures as _entry_signatures
 from repro.lint.findings import Finding
 from repro.lint.rules import STATIC_RULES
-from repro.lint.static_checker import (_chare_classes, _collect_kernel_uses,
-                                       _EntryDecl, _is_self_call,
-                                       _KernelUse, _module_entry_aliases,
+from repro.lint.static_checker import (_chare_classes, _EntryDecl,
+                                       _is_self_call, _KernelUse,
+                                       _module_entry_aliases,
                                        _parse_entry_decorator)
 from repro.units import GiB
 
@@ -97,34 +101,6 @@ class ChareRef:
 
 Value = _t.Union[Sym, ConfigRef, ChareRef]
 _ScopeKey = _t.Union[str, tuple]
-
-
-def _sym_bin(op: str, a: Sym, b: Sym) -> Sym:
-    fns: dict[str, _t.Callable[[float, float], float]] = {
-        "+": lambda x, y: x + y, "-": lambda x, y: x - y,
-        "*": lambda x, y: x * y, "/": lambda x, y: x / y,
-        "//": lambda x, y: x // y, "%": lambda x, y: x % y,
-        "**": lambda x, y: x ** y,
-    }
-    value: float | None = None
-    if a.known() and b.known():
-        try:
-            value = fns[op](a.value, b.value)
-        except (OverflowError, ValueError, ZeroDivisionError):
-            value = None
-    return Sym(f"({a.expr} {op} {b.expr})", value)
-
-
-def _sym_add(a: Sym | None, b: Sym) -> Sym:
-    if a is None:
-        return b
-    return _sym_bin("+", a, b)
-
-
-def _sym_mul(a: Sym, b: Sym) -> Sym:
-    if b.expr == "1" or (b.known() and b.value == 1.0):
-        return a
-    return _sym_bin("*", a, b)
 
 
 _BINOPS = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
@@ -409,6 +385,9 @@ class ModuleTraffic:
     file: str
     findings: list[Finding]
     sites: dict[str, SiteTraffic]
+    #: phase-ordered structure (:mod:`repro.lint.phases`); None only for
+    #: results deserialized from pre-v2 layers that never carried one
+    timeline: _t.Any = None
 
 
 def _functions_with_class(tree: ast.Module) -> list[
@@ -454,25 +433,6 @@ def _class_attr_refs(cls: ast.ClassDef, ev: _Evaluator) -> dict[str, Value]:
                     and value.args[0].id in ev.chare_names:
                 refs[target.attr] = ChareRef(value.args[0].id)
     return refs
-
-
-def _entry_signatures(chares: _t.Sequence[ast.ClassDef],
-                      aliases: frozenset[str]
-                      ) -> dict[tuple[str, int], list[tuple[str, list[str]]]]:
-    """(entry name, arity) -> [(class, param names)] over all chares."""
-    sigs: dict[tuple[str, int], list[tuple[str, list[str]]]] = {}
-    for cls in chares:
-        for method in cls.body:
-            if not isinstance(method, (ast.FunctionDef,
-                                       ast.AsyncFunctionDef)):
-                continue
-            if not any(_parse_entry_decorator(d, aliases)
-                       for d in method.decorator_list):
-                continue
-            params = [a.arg for a in method.args.args[1:]]
-            sigs.setdefault((method.name, len(params)), []).append(
-                (cls.name, params))
-    return sigs
 
 
 def _send_arg_map(tree: ast.Module, ev: _Evaluator,
@@ -720,8 +680,10 @@ def _analyze_chare(ct: _ChareTraffic, tree: ast.Module, ev: _Evaluator,
                 ct.unresolved.add(attr)
 
         if decl is not None:
-            uses = _collect_kernel_uses(
-                _t.cast(ast.FunctionDef, method), cls, aliases)
+            attr_scope = {("self", a): v for a, v in ct.attr_refs.items()}
+            uses = collect_kernel_uses(
+                _t.cast(ast.FunctionDef, method), cls, aliases,
+                ev=ev, attr_scope=attr_scope)
             loops = loop_nests(_t.cast(ast.FunctionDef, method),
                                ev.trip_evaluator(scope, defs))
             ct.entries.append(_EntryTraffic(
@@ -742,15 +704,24 @@ def _analyze_chare(ct: _ChareTraffic, tree: ast.Module, ev: _Evaluator,
 
 
 def _kernel_lines_in(node: ast.AST, uses: list[_KernelUse]) -> list[_KernelUse]:
+    """Uses whose *anchor* (entry-body launch point) lies inside ``node``."""
     calls = {id(sub) for sub in ast.walk(node) if isinstance(sub, ast.Call)}
-    return [u for u in uses if u.call is not None and id(u.call) in calls]
+    return [u for u in uses
+            if (u.anchor or u.call) is not None
+            and id(u.anchor or u.call) in calls]
 
 
 def _use_factor(entry: _EntryTraffic, use: _KernelUse,
                 ev: _Evaluator) -> Sym:
-    """traffic_scale x enclosing bounded-loop trip counts for one launch."""
-    factor = Sym("1", 1.0)
-    if use.call is not None:
+    """traffic_scale x enclosing bounded-loop trip counts for one launch.
+
+    Helper-derived uses arrive with the helper-context factor
+    (traffic_scale × helper-internal trips) pre-folded by the summary
+    analysis; entry-level loops around the helper call site multiply on
+    top via the anchor.
+    """
+    factor = use.factor if use.factor is not None else Sym("1", 1.0)
+    if use.factor is None and use.call is not None:
         for kw in use.call.keywords:
             if kw.arg == "traffic_scale":
                 got = ev.eval(kw.value, entry.scope, entry.defs)
@@ -979,7 +950,17 @@ def analyze_tree(tree: ast.Module, filename: str = "<string>"
     findings.extend(_emit_shared_intent_findings(chares, filename))
 
     sites = _aggregate_traffic(chares, ev)
-    return ModuleTraffic(file=filename, findings=findings, sites=sites)
+    # the phase-ordered layer (REP31x); lazy import — phases.py imports
+    # this module's internals at its own top level
+    from repro.lint.phases import analyze_phases
+    try:
+        timeline = analyze_phases(tree, filename, ev, chares, class_refs,
+                                  aliases)
+    except Exception as exc:  # noqa: BLE001 - crash contract
+        raise AnalyzerCrash(filename, "<phases>", exc) from exc
+    findings.extend(timeline.findings)
+    return ModuleTraffic(file=filename, findings=findings, sites=sites,
+                         timeline=timeline)
 
 
 def _aggregate_traffic(chares: list[_ChareTraffic],

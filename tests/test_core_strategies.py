@@ -63,7 +63,7 @@ class TestRegistryOfStrategies:
     def test_registry_contents(self):
         assert set(STRATEGIES) == {"naive", "ddr-only", "hbm-only",
                                    "single-io", "no-io", "multi-io",
-                                   "static-guided"}
+                                   "static-guided", "phase-guided"}
 
     def test_make_strategy_by_name(self):
         assert make_strategy("multi-io").name == "multi-io"

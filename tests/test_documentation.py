@@ -31,7 +31,8 @@ MODULES = [
     "repro.lint", "repro.lint.findings", "repro.lint.rules",
     "repro.lint.hooks", "repro.lint.static_checker", "repro.lint.sanitizer",
     "repro.lint.cfg", "repro.lint.dataflow", "repro.lint.traffic",
-    "repro.lint.guidance",
+    "repro.lint.guidance", "repro.lint.callgraph", "repro.lint.phases",
+    "repro.lint.sarif", "repro.lint.cache",
     "repro.hooks",
     "repro.race", "repro.race.hooks", "repro.race.clock",
     "repro.race.detector", "repro.race.model_checker", "repro.race.explorer",

@@ -1,0 +1,125 @@
+"""Fingerprint-keyed lint/guidance cache: hits, invalidation, bypass."""
+
+import pytest
+
+from repro.lint import traffic
+from repro.lint.cache import (AnalysisCache, cached_build_guidance,
+                              cached_check_paths, findings_from_payload,
+                              findings_to_payload)
+from repro.lint.findings import Finding, Severity
+
+CLEAN = """\
+from repro.runtime.chare import Chare
+from repro.runtime.entry import entry
+
+
+class C(Chare):
+    @entry
+    def setup(self, barrier):
+        self.a = self.declare_block("a", 1024)
+        barrier.contribute()
+
+    @entry(prefetch=True, readwrite=["a"])
+    def go(self, red):
+        result = yield from self.kernel(
+            flops=1.0, reads=[self.a], writes=[self.a])
+        red.contribute(result.duration)
+
+
+def main(arr, red):
+    arr.broadcast("setup", red)
+    arr.broadcast("go", red)
+"""
+
+BAD = CLEAN.replace('readwrite=["a"]', 'readonly=["a"]')
+
+
+@pytest.fixture
+def target(tmp_path):
+    path = tmp_path / "app.py"
+    path.write_text(CLEAN)
+    return path
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return AnalysisCache(tmp_path / "cache-root")
+
+
+class TestPayload:
+    def test_findings_round_trip(self):
+        findings = [Finding(rule="REP201", severity=Severity.ERROR,
+                            message="m", file="f.py", line=3,
+                            chare="C", entry="go")]
+        assert findings_from_payload(
+            findings_to_payload(findings)) == findings
+
+
+class TestLintCaching:
+    def test_cold_then_warm(self, target, cache):
+        first = cached_check_paths([target], cache=cache)
+        assert (cache.hits, cache.stores) == (0, 1)
+        second = cached_check_paths([target], cache=cache)
+        assert cache.hits == 1
+        assert list(second) == list(first)
+
+    def test_warm_hit_preserves_findings_exactly(self, tmp_path, cache):
+        path = tmp_path / "bad.py"
+        path.write_text(BAD)
+        cold = cached_check_paths([path], cache=cache)
+        warm = cached_check_paths([path], cache=cache)
+        assert list(warm) == list(cold) and list(cold)
+
+    def test_editing_target_invalidates(self, target, cache):
+        assert not list(cached_check_paths([target], cache=cache))
+        target.write_text(BAD)
+        report = cached_check_paths([target], cache=cache)
+        assert cache.hits == 0 and cache.stores == 2
+        assert any(f.rule == "REP102" for f in report)
+
+    def test_disabled_cache_never_touches_disk(self, target, tmp_path):
+        cache = AnalysisCache(tmp_path / "off", enabled=False)
+        cached_check_paths([target], cache=cache)
+        cached_check_paths([target], cache=cache)
+        assert (cache.hits, cache.stores) == (0, 0)
+        assert not (tmp_path / "off").exists()
+
+    def test_force_crash_hook_bypasses_warm_entries(self, target, cache):
+        cached_check_paths([target], cache=cache)  # warm
+        traffic._FORCE_CRASH = "C"  # crash while analyzing class C
+        try:
+            with pytest.raises(traffic.AnalyzerCrash):
+                cached_check_paths([target], cache=cache)
+        finally:
+            traffic._FORCE_CRASH = None
+        assert cache.hits == 0
+
+    def test_lint_and_guide_keys_do_not_collide(self, target, cache):
+        cached_check_paths([target], cache=cache)
+        cached_build_guidance([target], cache=cache)
+        assert cache.hits == 0 and cache.stores == 2
+
+    def test_corrupt_entry_is_a_miss(self, target, cache):
+        cached_check_paths([target], cache=cache)
+        generation = cache._generation()
+        for entry in generation.glob("*.json"):
+            entry.write_text("{truncated")
+        report = cached_check_paths([target], cache=cache)
+        assert cache.misses >= 1
+        assert not list(report)
+
+
+class TestGuidanceCaching:
+    def test_warm_guidance_is_byte_identical(self, target, cache):
+        cold = cached_build_guidance([target], cache=cache)
+        warm = cached_build_guidance([target], cache=cache)
+        assert cache.hits == 1
+        assert warm.dumps() == cold.dumps()
+
+    def test_warm_guidance_keeps_phase_table(self, target, cache):
+        cached_build_guidance([target], cache=cache)
+        warm = cached_build_guidance([target], cache=cache)
+        assert warm.schema >= 2
+        assert [ph["label"] for ph in warm.phase_table()] == \
+            ["C.setup", "C.go"]
+        assert warm.first_phase("C.a") == 1

@@ -162,6 +162,141 @@ class TestTry:
         assert len(fin.preds) == 2  # body end + handler end
 
 
+class TestWith:
+    def test_with_body_shares_the_header_block(self):
+        # a with-body executes unconditionally: header and body are one
+        # straight-line block, not a branch
+        assert render("""
+            def f(path):
+                with open(path) as fh:
+                    data = fh.read()
+                return data
+        """) == ("bb0 [entry]: L3 With, L4 Assign, L5 Return -> bb1\n"
+                 "bb1 [exit]: (empty) -> -")
+
+    def test_loop_inside_with_still_builds_edges(self):
+        cfg = cfg_of("""
+            def f(xs):
+                with open(xs) as fh:
+                    for x in fh:
+                        y = x
+                return 0
+        """)
+        head = next(b for b in cfg.blocks
+                    if any(isinstance(s, ast.For) for s in b.stmts))
+        assert head.index in cfg.blocks[head.index].succs \
+            or any(head.index in cfg.blocks[s].succs for s in head.succs)
+
+
+class TestMatch:
+    def test_match_cases_branch_and_join(self):
+        assert render("""
+            def f(cmd):
+                match cmd:
+                    case "go":
+                        a = 1
+                    case ("stop", x):
+                        a = x
+                    case _:
+                        a = 0
+                return a
+        """) == ("bb0 [entry]: L3 Match -> bb3 bb4 bb5\n"
+                 "bb1 [exit]: (empty) -> -\n"
+                 "bb2: L10 Return -> bb1\n"
+                 "bb3: L5 Assign -> bb2\n"
+                 "bb4: L7 Assign -> bb2\n"
+                 "bb5: L9 Assign -> bb2")
+
+    def test_match_without_wildcard_keeps_fallthrough(self):
+        # no irrefutable case: the subject may match nothing, so the
+        # header keeps a direct edge to the join
+        assert render("""
+            def f(cmd):
+                match cmd:
+                    case "go":
+                        a = 1
+                return cmd
+        """) == ("bb0 [entry]: L3 Match -> bb3 bb2\n"
+                 "bb1 [exit]: (empty) -> -\n"
+                 "bb2: L6 Return -> bb1\n"
+                 "bb3: L5 Assign -> bb2")
+
+    def test_guarded_wildcard_is_refutable(self):
+        cfg = cfg_of("""
+            def f(cmd):
+                match cmd:
+                    case _ if cmd:
+                        a = 1
+                return cmd
+        """)
+        head = next(b for b in cfg.blocks
+                    if any(isinstance(s, ast.Match) for s in b.stmts))
+        assert len(head.succs) == 2  # case block + fall-through
+
+    def test_match_defs_and_uses_are_shallow(self):
+        from repro.lint.dataflow import stmt_defs, stmt_uses
+        tree = ast.parse(textwrap.dedent("""
+            match cmd:
+                case ("stop", x) if flag:
+                    a = x
+                case {**rest}:
+                    a = 0
+        """))
+        stmt = tree.body[0]
+        assert sorted(stmt_defs(stmt)) == ["rest", "x"]
+        uses = stmt_uses(stmt)
+        assert "cmd" in uses and "flag" in uses
+        assert "a" not in uses  # case bodies live in their own blocks
+
+    def test_loop_nests_descends_into_match_cases(self):
+        from repro.lint.dataflow import loop_nests
+        tree = ast.parse(textwrap.dedent("""
+            def f(cmd):
+                match cmd:
+                    case "sweep":
+                        for i in range(8):
+                            pass
+        """))
+        loops = loop_nests(tree.body[0])
+        assert len(loops) == 1
+        assert loops[0].trip is not None and loops[0].trip.value == 8.0
+
+
+class TestWhileElse:
+    def test_while_else_interposed_on_escape_edge(self):
+        assert render("""
+            def f(x):
+                while x:
+                    x = x - 1
+                else:
+                    x = -1
+                return x
+        """) == ("bb0 [entry]: (empty) -> bb2\n"
+                 "bb1 [exit]: (empty) -> -\n"
+                 "bb2: L3 While -> bb4 bb5\n"
+                 "bb3: L7 Return -> bb1\n"
+                 "bb4: L4 Assign -> bb2\n"
+                 "bb5: L6 Assign -> bb3")
+
+    def test_break_skips_the_else_chain(self):
+        cfg = cfg_of("""
+            def f(x):
+                while x:
+                    break
+                else:
+                    x = -1
+                return x
+        """)
+        brk = next(b for b in cfg.blocks
+                   if any(isinstance(s, ast.Break) for s in b.stmts))
+        ret = next(b for b in cfg.blocks
+                   if any(isinstance(s, ast.Return) for s in b.stmts))
+        orelse = next(b for b in cfg.blocks
+                      if any(s.lineno == 6 for s in b.stmts))
+        assert brk.succs == [ret.index]
+        assert orelse.index not in brk.succs
+
+
 class TestDeadCode:
     def test_statements_after_return_are_islanded(self):
         cfg = cfg_of("""

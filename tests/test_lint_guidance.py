@@ -89,6 +89,57 @@ class TestAccessors:
         assert apps_guidance.order("Nope.x") == len(apps_guidance.sites)
 
 
+class TestSchemaV2:
+    def test_build_emits_schema_2_with_phase_table(self, apps_guidance):
+        assert apps_guidance.schema == GUIDANCE_SCHEMA == 2
+        phases = apps_guidance.phase_table()
+        assert phases, "apps tree must segment into phases"
+        # global indices: consecutive from 0 across all modules
+        assert [ph["index"] for ph in phases] == list(range(len(phases)))
+        for ph in phases:
+            assert {"index", "file", "label", "line", "trips",
+                    "entries"} <= set(ph)
+
+    def test_site_liveness_intervals_index_the_table(self, apps_guidance):
+        count = len(apps_guidance.phase_table())
+        for site_id, record in apps_guidance.sites.items():
+            first = apps_guidance.first_phase(site_id)
+            last = apps_guidance.last_phase(site_id)
+            if first is None:
+                continue
+            assert 0 <= first <= last < count, site_id
+            rows = record["phases"]
+            assert [r["phase"] for r in rows] == \
+                sorted(r["phase"] for r in rows)
+
+    def test_entry_phase_lookup(self, apps_guidance):
+        first = apps_guidance.entry_phase("StencilChare.exchange")
+        assert first is not None
+        assert apps_guidance.first_phase("StencilChare.grid") == first
+        assert apps_guidance.entry_phase("Nope.x") is None
+
+    def test_v1_document_loads_and_round_trips_byte_identically(
+            self, apps_guidance):
+        doc = json.loads(apps_guidance.dumps())
+        doc["schema"] = 1
+        del doc["phases"]
+        for record in doc["sites"].values():
+            for key in ("first_phase", "last_phase", "phases"):
+                record.pop(key, None)
+        v1_text = json.dumps(doc, sort_keys=True, indent=2,
+                             ensure_ascii=False) + "\n"
+        v1 = GuidanceFile.loads(v1_text)
+        assert v1.schema == 1
+        assert v1.phase_table() == []
+        assert v1.first_phase("StencilChare.grid") is None
+        assert v1.dumps() == v1_text
+
+    def test_phase_rows_carry_per_phase_volumes(self, apps_guidance):
+        rows = apps_guidance.sites["StencilChare.grid"]["phases"]
+        assert rows
+        assert all(row["reads"] or row["writes"] for row in rows)
+
+
 class TestFingerprintFolding:
     def test_guidance_env_changes_code_fingerprint(self, apps_guidance,
                                                    tmp_path, monkeypatch):
