@@ -11,7 +11,10 @@ Measures the PR's two acceptance ratios on a real figure workload
   >= 3x floor only exists with cores to spare, so it is asserted when
   the host has >= 4 CPUs; on smaller boxes the measured ratio and the
   core count are still recorded (with a sanity floor: the pool must not
-  be catastrophically slower than serial).
+  be catastrophically slower than serial).  When the lane is skipped or
+  the floor is not asserted, an explicit ``*_skipped_reason`` field in
+  the JSON says why — a single-core host must be distinguishable from a
+  lane that silently failed to run.
 * ``cache_overhead_x`` — cold *cached* over cold uncached serial runs:
   the price of fingerprinting + atomic writes on a cache-miss sweep.
 
@@ -119,4 +122,14 @@ def test_exec_engine_speedups(tmp_path) -> None:
     if parallel_s is not None:
         metrics["fig2_tiny_sweep"]["parallel_s"] = parallel_s
         metrics["fig2_tiny_sweep"]["parallel_x"] = parallel_x
+        if cores < PARALLEL_MIN_CORES:
+            # measured, but the >= 3x floor was not asserted
+            metrics["fig2_tiny_sweep"]["parallel_floor_skipped_reason"] = (
+                f"host has {cores} core(s) < {PARALLEL_MIN_CORES}; "
+                "ratio recorded, floor not asserted")
+    else:
+        # the lane never ran: say so explicitly instead of leaving the
+        # keys silently absent (a single-core host is the common cause)
+        metrics["fig2_tiny_sweep"]["parallel_skipped_reason"] = (
+            f"host has {cores} core(s); pool lane needs > 1")
     write_bench("exec", metrics)

@@ -15,9 +15,13 @@ records the trajectory in ``BENCH_simcore.json`` (see
   gain here is same-instant batching only; this bounds the worst case.
 * ``event_churn`` — no fluid model at all: 64 store/resource worker loops
   hammering ``Store.get``/``Resource.request``/``env.timeout``.  This is
-  the pure event-core hot path the ``__slots__`` + constant-event-name
-  micro-opt pass targets; the recorded ``ops_per_s`` is the before/after
-  number quoted in EXPERIMENTS.md.
+  the pure event-core hot path the fused kernel loop + handle-reuse pass
+  targets; the recorded ``ops_per_s`` is the before/after number quoted
+  in EXPERIMENTS.md.
+* ``steady_phases`` — one phase configuration repeated ten times over a
+  shared port pair.  The flow-set-signature memo replays the cached rate
+  vectors for every phase after the first; the recorded speedup is
+  memo-off wall over memo-on wall on the identical timeline.
 
 Both fluid scenarios assert the two solvers agree on the simulated
 timeline — this file runs in the default test path, so the perf harness
@@ -48,10 +52,10 @@ BASE_BYTES = 256e6
 
 def run_contention(solver: str, *, pes: int = PES,
                    flows_per_pe: int = FLOWS_PER_PE,
-                   waves: int = WAVES) -> tuple[float, int]:
+                   waves: int = WAVES) -> tuple[float, FluidNetwork]:
     """64 private lanes, synchronized waves of flow arrivals.
 
-    Returns (simulated end time, number of solver invocations).
+    Returns (simulated end time, the network with its solve counters).
     """
     env = Environment()
     net = FluidNetwork(env, solver=solver)
@@ -68,11 +72,11 @@ def run_contention(solver: str, *, pes: int = PES,
                                       max_rate=FLOW_CAP)
                 dones.append(flow.done)
         env.run(env.all_of(dones))
-    return env.now, net.solves
+    return env.now, net
 
 
 def run_shared_link_movers(solver: str, *, movers: int = PES,
-                           waves: int = WAVES) -> tuple[float, int]:
+                           waves: int = WAVES) -> tuple[float, FluidNetwork]:
     """64 concurrent flows across one shared port pair (Figure 7 shape)."""
     env = Environment()
     net = FluidNetwork(env, solver=solver)
@@ -86,7 +90,36 @@ def run_shared_link_movers(solver: str, *, movers: int = PES,
                                   max_rate=FLOW_CAP)
             dones.append(flow.done)
         env.run(env.all_of(dones))
-    return env.now, net.solves
+    return env.now, net
+
+
+def run_steady_phases(*, memo: bool, lanes: int = 48, phases: int = 10,
+                      sizes: int = 6) -> tuple[float, FluidNetwork]:
+    """Steady-state re-solve: one phase configuration repeated verbatim.
+
+    ``lanes`` flows with a small alphabet of (size, cap) combinations all
+    start at once over one shared port pair, then drain in staggered
+    departure waves — each wave a component re-solve.  Every later phase
+    repeats the exact flow-set-signature sequence of the first, so the
+    memo replays all of it; memo-off recomputes every solve.
+    """
+    env = Environment()
+    net = FluidNetwork(env, solver="incremental", memo=memo)
+    read = net.add_link("hbm.read", 400e9)
+    write = net.add_link("ddr4.write", WRITE_BW)
+    share = WRITE_BW / lanes
+    for _phase in range(phases):
+        dones = []
+        for k in range(lanes):
+            nbytes = BASE_BYTES * (1.0 + (k % sizes) / sizes)
+            # per-flow caps straddle the fair share: the capped flows
+            # freeze one cascade round at a time, making each solve
+            # genuinely progressive (the case the memo is for)
+            cap = share * (0.4 + 1.6 * k / lanes)
+            flow = net.start_flow(nbytes, [read, write], max_rate=cap)
+            dones.append(flow.done)
+        env.run(env.all_of(dones))
+    return env.now, net
 
 
 def run_event_churn(*, pes: int = PES, rounds: int = 150) -> tuple[float, int]:
@@ -94,10 +127,12 @@ def run_event_churn(*, pes: int = PES, rounds: int = 150) -> tuple[float, int]:
 
     Each of ``pes`` workers loops: blocking ``get`` from its store, a
     counted-resource acquire/release, and a tiny timeout — the per-message
-    skeleton of the runtime's PE loop.  Returns (simulated end time,
-    total worker iterations).
+    skeleton of the runtime's PE loop.  ``reuse_handles=True`` matches the
+    runtime's own environment configuration: each worker's awaited events
+    are recycled through its private handle instead of allocated fresh.
+    Returns (simulated end time, total worker iterations).
     """
-    env = Environment()
+    env = Environment(reuse_handles=True)
     stores = [Store(env, name=f"q{i}") for i in range(pes)]
     res = Resource(env, capacity=32, name="slots")
 
@@ -132,17 +167,20 @@ def run_event_churn(*, pes: int = PES, rounds: int = 150) -> tuple[float, int]:
 
 
 def _measure(run_fn, solver: str) -> dict:
-    elapsed, (sim_time, solves) = best_wall_time(
+    elapsed, (sim_time, net) = best_wall_time(
         lambda: run_fn(solver), repeats=2)
-    return {"wall_s": elapsed, "sim_time_s": sim_time, "solves": solves}
+    return {"wall_s": elapsed, "sim_time_s": sim_time, "solves": net.solves,
+            "solve_wall_s": net.solve_wall_s,
+            "memo_hits": net.memo_hits, "memo_misses": net.memo_misses}
 
 
-#: raised floors (this PR's event-core batching + inlining pass): the
-#: contention ratio is machine-independent; the churn floor is absolute
-#: but carries >2x headroom over the measured ~430k ops/s — the PR 5
-#: baseline recorded ~143k on the same class of machine
+#: raised floors (this PR's fused kernel loop + handle reuse + solver
+#: memo): the contention and steady-phase ratios are machine-independent;
+#: the churn floor is absolute but carries ~2x headroom over the measured
+#: ~940k ops/s — PR 9 recorded ~444k, PR 5 ~143k on this machine class
 CONTENTION_FLOOR = 3.0
-EVENT_CHURN_FLOOR_OPS = 200e3
+EVENT_CHURN_FLOOR_OPS = 500e3
+STEADY_MEMO_FLOOR = 1.5
 
 
 def test_simcore_regression() -> None:
@@ -176,10 +214,26 @@ def test_simcore_regression() -> None:
         "sim_time_s": inc["sim_time_s"],
     }
 
+    on_elapsed, (on_sim, on_net) = best_wall_time(
+        lambda: run_steady_phases(memo=True), repeats=2)
+    off_elapsed, (off_sim, off_net) = best_wall_time(
+        lambda: run_steady_phases(memo=False), repeats=2)
+    # the memo must not change the simulated timeline, only the wall cost
+    assert on_sim == off_sim
+    assert on_net.memo_hits > 0 and off_net.memo_hits == 0
+    steady_speedup = off_elapsed / on_elapsed
+    metrics["steady_phases"] = {
+        "memo_on_s": on_elapsed, "memo_off_s": off_elapsed,
+        "speedup": steady_speedup,
+        "solves_memo_on": on_net.solves, "solves_memo_off": off_net.solves,
+        "memo_hits": on_net.memo_hits, "memo_misses": on_net.memo_misses,
+        "sim_time_s": on_sim,
+    }
+
     # best-of-7: the ~25ms scenario is short enough that scheduler noise
     # dominates a 2-repeat best; the floor below still has 2x headroom
     churn_elapsed, (churn_sim, churn_ops) = best_wall_time(
-        run_event_churn, repeats=7)
+        run_event_churn, repeats=15)
     churn_ops_per_s = churn_ops / churn_elapsed
     metrics["event_churn"] = {
         "wall_s": churn_elapsed,
@@ -191,11 +245,17 @@ def test_simcore_regression() -> None:
     path = write_bench("simcore", metrics)
     print(f"\nwrote {path}")
     for scenario, row in metrics.items():
-        if "speedup" in row:
+        if "full_s" in row:
             print(f"  {scenario}: full {row['full_s']*1e3:.1f}ms "
                   f"-> incremental {row['incremental_s']*1e3:.1f}ms "
                   f"({row['speedup']:.1f}x; solves "
                   f"{row['full_solves']} -> {row['incremental_solves']})")
+        elif "memo_on_s" in row:
+            print(f"  {scenario}: memo off {row['memo_off_s']*1e3:.1f}ms "
+                  f"-> on {row['memo_on_s']*1e3:.1f}ms "
+                  f"({row['speedup']:.1f}x; solves "
+                  f"{row['solves_memo_off']} -> {row['solves_memo_on']}, "
+                  f"{row['memo_hits']} hits)")
         else:
             print(f"  {scenario}: {row['wall_s']*1e3:.1f}ms "
                   f"({row['ops_per_s']/1e3:.0f}k ops/s)")
@@ -205,16 +265,19 @@ def test_simcore_regression() -> None:
         f"64-PE contention scenario (wanted >={CONTENTION_FLOOR}x)")
     assert churn_ops_per_s >= EVENT_CHURN_FLOOR_OPS, (
         f"event churn at {churn_ops_per_s / 1e3:.0f}k ops/s, below the "
-        f"{EVENT_CHURN_FLOOR_OPS / 1e3:.0f}k floor (PR 5 recorded ~143k; "
-        "the batched drain loop should clear 400k on the same machine)")
+        f"{EVENT_CHURN_FLOOR_OPS / 1e3:.0f}k floor (PR 9 recorded ~444k; "
+        "the fused kernel + handle reuse should clear 900k here)")
+    assert steady_speedup >= STEADY_MEMO_FLOOR, (
+        f"solver memo only {steady_speedup:.2f}x faster on the repeated-"
+        f"phase scenario (wanted >={STEADY_MEMO_FLOOR}x)")
 
 
 def test_solvers_agree_on_solve_counts() -> None:
     """The incremental solver must do strictly less solving work."""
-    _, full_solves = run_contention("full", pes=8, flows_per_pe=2, waves=2)
-    _, inc_solves = run_contention("incremental", pes=8, flows_per_pe=2,
-                                   waves=2)
-    assert inc_solves < full_solves
+    _, full_net = run_contention("full", pes=8, flows_per_pe=2, waves=2)
+    _, inc_net = run_contention("incremental", pes=8, flows_per_pe=2,
+                                waves=2)
+    assert inc_net.solves < full_net.solves
 
 
 if __name__ == "__main__":  # pragma: no cover - manual run convenience
@@ -228,3 +291,12 @@ if __name__ == "__main__":  # pragma: no cover - manual run convenience
               f"{i['wall_s']:.3f}s ({f['wall_s']/i['wall_s']:.1f}x) "
               f"vectorized {v['wall_s']:.3f}s",
               file=sys.stderr)
+    on_w, (_, on_net) = best_wall_time(
+        lambda: run_steady_phases(memo=True), repeats=2)
+    off_w, _ = best_wall_time(
+        lambda: run_steady_phases(memo=False), repeats=2)
+    print(f"steady_phases: memo-off {off_w:.3f}s memo-on {on_w:.3f}s "
+          f"({off_w/on_w:.1f}x, {on_net.memo_hits} hits)", file=sys.stderr)
+    churn_w, (_, churn_ops) = best_wall_time(run_event_churn, repeats=5)
+    print(f"event_churn: {churn_w*1e3:.1f}ms for {churn_ops} ops "
+          f"({churn_ops/churn_w/1e3:.0f}k ops/s)", file=sys.stderr)

@@ -1,0 +1,188 @@
+"""Strategy leaderboard: every placement strategy × every application.
+
+``repro leaderboard`` sweeps the full strategy registry over the four
+chare applications (Stencil3D, blocked MatMul, iterated SpMV, STREAM)
+at working sets that fit the scaled HBM tier — ``hbm-only`` refuses
+overflow working sets by design, so the fit is what makes the sweep
+square.  Each (app, strategy) cell runs N seeded schedule replicates
+through the :mod:`repro.exec` engine (content-cached, fan-out capable)
+and aggregates into mean ± 95% CI via :mod:`repro.obs.report`.
+
+The ranking folds the per-app sweeps into one score per strategy: its
+*geometric-mean slowdown* versus the per-app best strategy, computed
+replicate-by-replicate so the summary row carries a CI too.  Geomean —
+not arithmetic — so one app cannot dominate by its absolute scale, and
+a strategy must be good everywhere to rank first.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.bench.harness import ExperimentResult, FigurePlan, Scale
+from repro.core.strategies import STRATEGIES
+from repro.exec.spec import RunSpec
+from repro.obs import html as _h
+from repro.obs.report import SweepFigure
+from repro.obs.stats import summarize
+from repro.units import GiB, MiB
+
+__all__ = ["LEADERBOARD_APPS", "leaderboard_plans", "rank_figures",
+           "render_leaderboard"]
+
+#: the apps swept, in table order
+LEADERBOARD_APPS: tuple[str, ...] = ("stencil", "matmul", "spmv", "stream")
+
+
+def _machine(strategy: str, scale: Scale) -> dict[str, _t.Any]:
+    return {"strategy": strategy, "cores": 64,
+            "mcdram": scale.mcdram, "ddr": scale.ddr}
+
+
+def _app_specs(app: str, scale: Scale, strategies: _t.Sequence[str],
+               iterations: int) -> "list[RunSpec]":
+    """One spec per strategy for ``app``, working set inside scaled HBM."""
+    # all working sets are 8 GiB at full scale (HBM is 16 GiB there), so
+    # every strategy — including hbm-only, which refuses overflow — runs
+    if app == "stencil":
+        total = scale.size(8 * GiB)
+        return [RunSpec("stencil",
+                        {**_machine(s, scale), "total": total,
+                         "block": scale.size(128 * MiB),
+                         "iterations": iterations},
+                        cost=2.0 * total / GiB,
+                        label=f"leaderboard/stencil/{s}")
+                for s in strategies]
+    if app == "matmul":
+        ws = scale.size(8 * GiB)
+        return [RunSpec("matmul",
+                        {**_machine(s, scale), "working_set": ws,
+                         "block_dim": 96},
+                        cost=20.0 * (ws / GiB) ** 1.5,
+                        label=f"leaderboard/matmul/{s}")
+                for s in strategies]
+    if app == "spmv":
+        block = scale.size(8 * GiB) // 32
+        return [RunSpec("spmv",
+                        {**_machine(s, scale), "block_rows": 32,
+                         "block_bytes": block,
+                         "vector_bytes": max(block // 32, 4096),
+                         "couplings": 3, "iterations": iterations,
+                         "seed": 0},
+                        cost=2.0, label=f"leaderboard/spmv/{s}")
+                for s in strategies]
+    if app == "stream":
+        # 64 chares x 3 vectors: 12 GiB at full scale, inside HBM
+        return [RunSpec("stream_app",
+                        {**_machine(s, scale), "kernel": "triad",
+                         "array_bytes": scale.size(64 * MiB),
+                         "chares": 64, "repeats": 2},
+                        cost=1.0, label=f"leaderboard/stream/{s}")
+                for s in strategies]
+    raise ValueError(f"unknown leaderboard app {app!r}; "
+                     f"choose from {LEADERBOARD_APPS}")
+
+
+def leaderboard_plans(scale: Scale = Scale.SMALL, *,
+                      apps: _t.Sequence[str] | None = None,
+                      strategies: _t.Sequence[str] | None = None,
+                      iterations: int = 3) -> list[FigurePlan]:
+    """One :class:`FigurePlan` per app, series = makespan per strategy.
+
+    The plans plug straight into the :mod:`repro.obs.report` replicate
+    machinery (``replicate_specs`` / ``assemble_sweep``), so the
+    leaderboard gets CIs and Welch baselines for free.
+    """
+    apps = tuple(apps) if apps is not None else LEADERBOARD_APPS
+    strategies = tuple(strategies) if strategies is not None \
+        else tuple(sorted(STRATEGIES))
+    plans: list[FigurePlan] = []
+    for app in apps:
+        specs = _app_specs(app, scale, strategies, iterations)
+
+        def assemble(results: _t.Sequence[_t.Mapping], *, _app: str = app,
+                     _strategies: tuple[str, ...] = strategies,
+                     ) -> ExperimentResult:
+            row = {s: float(res["total_time"])
+                   for s, res in zip(_strategies, results)}
+            return ExperimentResult(
+                figure=f"leaderboard/{_app}",
+                description=f"{_app} makespan per placement strategy",
+                series={_app: row}, unit="s")
+
+        plans.append(FigurePlan(f"leaderboard/{app}", specs, assemble))
+    return plans
+
+
+def rank_figures(figures: _t.Sequence[SweepFigure]) -> SweepFigure:
+    """Fold per-app sweeps into one ranked geomean-slowdown summary.
+
+    For each replicate r the slowdown of a strategy on an app is its
+    makespan divided by the fastest strategy's makespan *in that same
+    replicate* (so schedule luck never crosses replicates); the score is
+    the geometric mean over apps.  Strategies missing from any app are
+    scored over the apps they did run.  Rows come back rank-ordered.
+    """
+    if not figures:
+        raise ValueError("rank_figures needs at least one sweep figure")
+    replicates = figures[0].replicates
+    # strategy -> list over replicates of list of per-app slowdowns
+    slow: dict[str, list[list[float]]] = {}
+    for fig in figures:
+        for row in fig.values.values():
+            for r in range(replicates):
+                best = min(vals[r] for vals in row.values())
+                for label, vals in row.items():
+                    per_rep = slow.setdefault(
+                        label, [[] for _ in range(replicates)])
+                    per_rep[r].append(vals[r] / best if best > 0 else 1.0)
+    scores = {
+        label: [math.exp(sum(map(math.log, apps_r)) / len(apps_r))
+                for apps_r in per_rep]
+        for label, per_rep in slow.items()
+    }
+    ranked = sorted(scores, key=lambda label: summarize(scores[label]).mean)
+    values = {label: {"slowdown": scores[label]} for label in ranked}
+    stats = {label: {"slowdown": summarize(scores[label])}
+             for label in ranked}
+    return SweepFigure(
+        figure="leaderboard",
+        description="geometric-mean slowdown vs per-app best (rank order)",
+        unit="x", replicates=replicates, baseline=None,
+        values=values, stats=stats,
+        tests={label: {"slowdown": None} for label in ranked})
+
+
+def render_leaderboard(summary: SweepFigure,
+                       figures: _t.Sequence[SweepFigure]) -> str:
+    """The ranked plain-text table: one row per strategy, one app column."""
+    apps = [next(iter(fig.stats)) for fig in figures]
+    head = (f"{'rank':>4}  {'strategy':<14} {'geomean':>14}  "
+            + "  ".join(f"{app:>12}" for app in apps))
+    lines = [f"== repro leaderboard: {len(summary.stats)} strategies x "
+             f"{len(apps)} app(s), {summary.replicates} replicate(s) ==",
+             head, "-" * len(head)]
+    for rank, (label, row) in enumerate(summary.stats.items(), start=1):
+        sample = row["slowdown"]
+        # identical replicates leave float-noise CIs; render those as 0
+        ci95 = 0.0 if sample.ci95 < abs(sample.mean) * 1e-9 else sample.ci95
+        ci = f" ±{_h.fmt(ci95)}" if sample.n > 1 else ""
+        cells = []
+        for fig, app in zip(figures, apps):
+            cell = fig.stats[app].get(label)
+            if cell is None:
+                cells.append(f"{'—':>12}")
+                continue
+            test = fig.tests.get(app, {}).get(label)
+            mark = test.marker() if test is not None else ""
+            cells.append(f"{_h.fmt(cell.mean):>11}s{mark}")
+        geo = f"{_h.fmt(sample.mean)}x{ci}"
+        lines.append(f"{rank:>4}  {label:<14} {geo:>14}  " + "  ".join(cells))
+    if any(fig.baseline for fig in figures):
+        base = next(fig.baseline for fig in figures if fig.baseline)
+        lines.append(f"   (* = significant vs baseline {base} "
+                     "at 95%, Welch)")
+    lines.append("   (app cells: makespan mean over replicates; geomean "
+                 "ranks across apps)")
+    return "\n".join(lines)

@@ -62,6 +62,14 @@ Commands
     CI tables with Welch significance tests against ``--baseline``, and
     write one self-contained HTML report (inline SVG, no external
     assets).  Warm-cache re-runs reproduce the file byte for byte.
+``leaderboard``
+    Rank every placement strategy across the four chare applications:
+    N seeded schedule replicates per (app, strategy) cell on the
+    parallel engine, makespan mean ± 95% CI per cell, Welch t-tests
+    against ``--baseline``, and a ranking by geometric-mean slowdown
+    versus the per-app best — plus one self-contained HTML report.
+    Working sets fit the scaled HBM tier so ``hbm-only`` (which
+    refuses overflow) participates.
 ``trend``
     The BENCH trend dashboard: ``append`` folds the repo's current
     ``BENCH_*.json`` snapshots into ``bench_history.jsonl`` (keyed by
@@ -86,6 +94,8 @@ Examples::
     python -m repro stencil --spans --trace-out trace.json
     python -m repro report --figures fig2 fig8 --replicates 5 \
         --baseline "Single IO thread" -j 8 -o report.html
+    python -m repro leaderboard --replicates 3 --baseline multi-io \
+        -o leaderboard.html
     python -m repro trend append --commit $GITHUB_SHA
     python -m repro trend render -o trend.html
 """
@@ -108,7 +118,8 @@ from repro.units import format_size, format_time, parse_size
 
 __all__ = ["main"]
 
-_SCALES = {"small": Scale.SMALL, "medium": Scale.MEDIUM, "full": Scale.FULL}
+_SCALES = {"tiny": Scale.TINY, "small": Scale.SMALL,
+           "medium": Scale.MEDIUM, "full": Scale.FULL}
 
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
@@ -711,6 +722,56 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_leaderboard(args: argparse.Namespace) -> int:
+    """Every strategy × every app, replicated, ranked, one HTML report."""
+    from repro.bench.leaderboard import (LEADERBOARD_APPS, leaderboard_plans,
+                                         rank_figures, render_leaderboard)
+    from repro.exec import ResultCache, run_specs
+    from repro.obs.report import (assemble_sweep, render_report_html,
+                                  replicate_specs)
+
+    scale = _SCALES[args.scale]
+    apps = list(args.apps or LEADERBOARD_APPS)
+    unknown = sorted(set(apps) - set(LEADERBOARD_APPS))
+    if unknown:
+        print(f"unknown app(s) {unknown}; "
+              f"choose from {sorted(LEADERBOARD_APPS)}", file=sys.stderr)
+        return 2
+    strategies = sorted(args.strategies or STRATEGIES)
+    if args.baseline is not None and args.baseline not in strategies:
+        print(f"baseline {args.baseline!r} is not among the swept "
+              f"strategies {strategies}", file=sys.stderr)
+        return 2
+    plans = leaderboard_plans(scale, apps=apps, strategies=strategies,
+                              iterations=args.iterations)
+    specs = replicate_specs(plans, args.replicates)
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    results = run_specs(specs, jobs=args.jobs, cache=cache,
+                        progress=_progress_line)
+    failed = [r for r in results if not r.ok]
+    if failed:
+        for r in failed:
+            print(f"leaderboard: {r.spec.display()}: {r.error}",
+                  file=sys.stderr)
+        return 1
+    figures = assemble_sweep(plans, args.replicates,
+                             [r.result for r in results],
+                             baseline=args.baseline)
+    summary = rank_figures(figures)
+    print(render_leaderboard(summary, figures))
+    if args.out:
+        html = render_report_html(
+            [summary, *figures],
+            title=f"repro strategy leaderboard — {', '.join(apps)} "
+                  f"({args.scale} scale)")
+        with open(args.out, "w") as fh:
+            fh.write(html)
+        print(f"leaderboard ({len(strategies)} strategies, {len(apps)} "
+              f"app(s), {args.replicates} replicate(s)) written to "
+              f"{args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_trend(args: argparse.Namespace) -> int:
     """Append to / render the BENCH trend history."""
     import os
@@ -965,6 +1026,37 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
                        help="cache location (default: .repro-cache/ at the "
                             "repo root)")
     p_rep.set_defaults(func=_cmd_report)
+
+    p_lb = sub.add_parser(
+        "leaderboard", help="rank every strategy across every app "
+                            "(replicated sweep + HTML report)")
+    p_lb.add_argument("--apps", nargs="*", metavar="APP",
+                      help="subset of apps (default: stencil matmul "
+                           "spmv stream)")
+    p_lb.add_argument("--strategies", nargs="*", metavar="NAME",
+                      choices=sorted(STRATEGIES),
+                      help="subset of strategies (default: all)")
+    p_lb.add_argument("--scale", default="small", choices=sorted(_SCALES))
+    p_lb.add_argument("--iterations", type=int, default=3,
+                      help="app iterations per run (stencil/spmv)")
+    p_lb.add_argument("--replicates", type=int, default=3, metavar="N",
+                      help="seeded schedule replicates per cell "
+                           "(default 3)")
+    p_lb.add_argument("--baseline", default=None, metavar="STRATEGY",
+                      help="strategy to Welch-t-test the others against "
+                           "(e.g. multi-io)")
+    p_lb.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for the simulation runs")
+    p_lb.add_argument("-o", "--out", default="leaderboard.html",
+                      metavar="PATH",
+                      help="HTML report path (default leaderboard.html; "
+                           "'' disables)")
+    p_lb.add_argument("--no-cache", action="store_true",
+                      help="run everything fresh, bypassing .repro-cache/")
+    p_lb.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="cache location (default: .repro-cache/ at the "
+                           "repo root)")
+    p_lb.set_defaults(func=_cmd_leaderboard)
 
     p_tr = sub.add_parser(
         "trend", help="BENCH_*.json trend history + sparkline dashboard")

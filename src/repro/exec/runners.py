@@ -140,6 +140,20 @@ def run_spmv_spec(params: _t.Mapping[str, _t.Any]) -> dict:
                 sum(result.iteration_times) / len(result.iteration_times)}
 
 
+def run_stream_app_spec(params: _t.Mapping[str, _t.Any]) -> dict:
+    """One STREAM-over-chares run (strategy-sensitive, leaderboard cell)."""
+    from repro.apps.stream_app import StreamApp, StreamAppConfig
+
+    built = _build(params)
+    cfg = StreamAppConfig(kernel=params.get("kernel", "triad"),
+                          array_bytes=int(params["array_bytes"]),
+                          chares=int(params["chares"]),
+                          repeats=int(params.get("repeats", 2)))
+    result = StreamApp(built, cfg).run()
+    return {"total_time": result.elapsed_best,
+            "bandwidth": result.bandwidth}
+
+
 def run_schedule_spec(params: _t.Mapping[str, _t.Any]) -> dict:
     """One seeded schedule permutation under racesan+simsan."""
     from repro.race.explorer import (matmul_runner, run_schedule,
@@ -198,6 +212,7 @@ EXECUTORS: dict[str, _t.Callable[[_t.Mapping[str, _t.Any]], dict]] = {
     "stencil": run_stencil_spec,
     "matmul": run_matmul_spec,
     "spmv": run_spmv_spec,
+    "stream_app": run_stream_app_spec,
     "schedule": run_schedule_spec,
     "selftest": run_selftest_spec,
 }

@@ -35,6 +35,9 @@ __all__ = ["DEFAULT_TREND_METRICS", "collect_bench_files", "append_history",
 DEFAULT_TREND_METRICS: tuple[tuple[str, str], ...] = (
     ("simcore.event_churn.ops_per_s", "sim-core event churn (ops/s)"),
     ("simcore.contention_64pe.speedup", "incremental-solve speedup (x)"),
+    ("simcore.steady_phases.speedup", "solver memo speedup (x)"),
+    ("leaderboard.tiny_sweep.cells_per_s",
+     "leaderboard sweep throughput (cells/s)"),
     ("exec.fig2_tiny_sweep.warm_cache_x", "exec warm-cache speedup (x)"),
     ("metrics.stencil_1gib_multi_io.disabled_x",
      "metrics hooks disabled overhead (x)"),

@@ -39,6 +39,7 @@ permuted same-instant order.
 
 from __future__ import annotations
 
+import os as _os
 import typing as _t
 from heapq import heapify as _heapify
 from heapq import heappop as _heappop
@@ -47,6 +48,7 @@ from itertools import count
 
 from repro.errors import DeadlockError, SimulationError
 from repro.race import hooks as _rh
+from repro.sim import kernel as _kernel
 from repro.sim.events import Event, AllOf, AnyOf, Timeout
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -83,10 +85,37 @@ class Environment:
 
     __slots__ = ("_now", "_times", "_buckets", "_urgent_buckets",
                  "_agenda_urgent", "_agenda_normal", "_legacy_queue",
-                 "_seq", "_live", "_dead", "_active", "_tie_break")
+                 "_seq", "_live", "_dead", "_active", "_tie_break",
+                 "_kernel", "_reuse", "_current", "_in_kernel",
+                 "_tcache_t", "_tcache")
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, *,
+                 reuse_handles: bool = False,
+                 kernel: bool | None = None):
         self._now = float(initial_time)
+        #: run() full drains go through the fused kernel loop
+        #: (repro.sim.kernel.drain) unless disabled here or via
+        #: $REPRO_SIM_KERNEL=0; both loops are order-identical
+        if kernel is None:
+            kernel = _os.environ.get("REPRO_SIM_KERNEL", "1") != "0"
+        self._kernel = kernel
+        #: opt-in: event factories may recycle the calling process's
+        #: private handle event (see Process._handle for the contract)
+        self._reuse = bool(reuse_handles)
+        #: process currently being resumed by the kernel loop, published
+        #: only when reuse_handles is on (event factories consult it)
+        self._current = None
+        #: True while a kernel drain is running: the NORMAL event domain
+        #: is then *uncounted* — scheduling paths skip the per-event
+        #: ``_live`` bookkeeping and the kernel reconciles on exit (see
+        #: repro.sim.kernel for the conversion contract)
+        self._in_kernel = False
+        #: one-slot bucket cache for timeout(): consecutive timeouts to
+        #: the same instant (the 64-lane lockstep shape) skip the float
+        #: hash + dict lookup.  Invalidated wholesale wherever a bucket
+        #: can leave ``_buckets`` (_advance_clock / peek / _compact).
+        self._tcache_t = -1.0
+        self._tcache: list[Event] | None = None
         #: heap of bucket timestamps (floats; may hold stale duplicates)
         self._times: list[float] = []
         #: future NORMAL events by exact timestamp
@@ -133,6 +162,47 @@ class Environment:
         per PE-loop iteration, and the constructor + scheduling call
         layers were a measurable slice of event-churn wall time.
         """
+        proc = self._current
+        if proc is not None:
+            # recycle the resuming process's private handle (reuse_handles
+            # mode): resets instead of an allocation + full slot init.
+            # _current is published only by the fused kernel loop, which
+            # never runs with an observer or tie-breaker installed and
+            # whose NORMAL domain is uncounted — the tracker/tie-break/
+            # _live bookkeeping of the general path is statically dead
+            # here.  _cb0 keeps naming the owner (the kernel attach
+            # relies on it); the ``delay`` slot is NOT refreshed — a
+            # recycled handle's repr may show a stale delay, which the
+            # opaque-handle contract permits (see Process._handle).
+            ev = proc._handle
+            if ev._processed:
+                if delay > 0.0:
+                    ev._processed = False
+                    ev._cb0 = proc
+                    ev._value = value
+                    t = self._now + delay
+                    if t == self._tcache_t:
+                        self._tcache.append(ev)
+                        return ev
+                    buckets = self._buckets
+                    bucket = buckets.get(t)
+                    if bucket is None:
+                        bucket = [ev]
+                        buckets[t] = bucket
+                        _heappush(self._times, t)
+                    else:
+                        bucket.append(ev)
+                    self._tcache_t = t
+                    self._tcache = bucket
+                    return ev
+                if delay == 0.0:
+                    ev._processed = False
+                    ev._cb0 = proc
+                    ev._value = value
+                    self._agenda_normal.append(ev)
+                    return ev
+                # negative or NaN: the validating constructor raises
+                return Timeout(self, delay, value)
         if not (delay >= 0.0 and self._tie_break is None):
             return Timeout(self, delay, value)  # slow/validating path (NaN
             # and negative delays fail the >= check and get the real error)
@@ -150,13 +220,26 @@ class Environment:
             self._agenda_normal.append(ev)
         else:
             t = self._now + delay
+            if t == self._tcache_t:
+                self._tcache.append(ev)
+                if self._in_kernel:
+                    return ev
+                self._live += 1
+                if _rh.tracker is not None:
+                    _rh.tracker.on_scheduled(ev)
+                return ev
             buckets = self._buckets
             bucket = buckets.get(t)
             if bucket is None:
-                buckets[t] = [ev]
+                bucket = [ev]
+                buckets[t] = bucket
                 _heappush(self._times, t)
             else:
                 bucket.append(ev)
+            self._tcache_t = t
+            self._tcache = bucket
+        if self._in_kernel:
+            return ev
         self._live += 1
         if _rh.tracker is not None:
             _rh.tracker.on_scheduled(ev)
@@ -199,21 +282,47 @@ class Environment:
             # current instant: plain FIFO append, no heap traffic
             if priority == URGENT:
                 self._agenda_urgent.append(event)
-            else:
-                self._agenda_normal.append(event)
+                # URGENT entries stay counted even inside a kernel drain:
+                # they are consumed via _dispatch, which decrements
+                self._live += 1
+                if _rh.tracker is not None:
+                    _rh.tracker.on_scheduled(event)
+                return event
+            self._agenda_normal.append(event)
         elif delay > 0.0:
             t = self._now + delay
-            store = (self._buckets if priority != URGENT
-                     else self._urgent_buckets)
+            if priority == URGENT:
+                store = self._urgent_buckets
+                bucket = store.get(t)
+                if bucket is None:
+                    store[t] = [event]
+                    _heappush(self._times, t)
+                else:
+                    bucket.append(event)
+                self._live += 1
+                if _rh.tracker is not None:
+                    _rh.tracker.on_scheduled(event)
+                return event
+            store = self._buckets
             bucket = store.get(t)
             if bucket is None:
                 store[t] = [event]
                 _heappush(self._times, t)
             else:
                 bucket.append(event)
+            if t == self._tcache_t and bucket is not self._tcache:
+                # defensive: never let the timeout cache alias a bucket
+                # this path just replaced (cannot happen today — the
+                # cache is invalidated wherever buckets are dropped —
+                # but the check is one compare on a cold path)
+                self._tcache_t = -1.0  # pragma: no cover
         else:
             raise SimulationError(
                 f"cannot schedule into the past (delay={delay!r})")
+        # NORMAL domain: uncounted while a kernel drain is running (the
+        # drain reconciles _live on exit; see repro.sim.kernel)
+        if self._in_kernel:
+            return event
         self._live += 1
         if _rh.tracker is not None:
             _rh.tracker.on_scheduled(event)
@@ -260,7 +369,12 @@ class Environment:
         if _rh.tracker is not None:
             _rh.tracker.on_descheduled(event)
         event._cancelled = True
-        self._live -= 1
+        if not self._in_kernel:
+            # mid-drain the NORMAL domain is uncounted (and URGENT
+            # entries are never exposed for cancellation), so there is
+            # nothing to decrement; the tombstone is reconciled by the
+            # skip sites (see repro.sim.kernel)
+            self._live -= 1
         self._dead += 1
         if self._dead > _COMPACT_MIN_DEAD and self._dead > self._live:
             self._compact()
@@ -275,6 +389,7 @@ class Environment:
         ``2 * live + 64`` entries at any time.  All containers are
         mutated *in place* — the run loop may alias them.
         """
+        self._tcache_t = -1.0  # the sweep below may drop buckets
         if self._tie_break is not None:
             queue = self._legacy_queue
             queue[:] = [e for e in queue if e[3] is not None]
@@ -336,8 +451,21 @@ class Environment:
         Returns False when no live future event exists.  The clock only
         lands on instants that still hold at least one live entry.
         """
+        self._tcache_t = -1.0  # buckets may leave the dict below
         times = self._times
         buckets, ubuckets = self._buckets, self._urgent_buckets
+        if self._dead == 0 and not ubuckets:
+            # no tombstones anywhere and no urgent futures (the common
+            # case): move the whole bucket without per-event checks
+            while times:
+                t = _heappop(times)
+                nb = buckets.pop(t, None)
+                if nb is None:
+                    continue  # stale duplicate timestamp
+                self._agenda_normal.extend(nb)
+                self._now = t
+                return True
+            return False
         while times:
             t = _heappop(times)
             ub = ubuckets.pop(t, None)
@@ -368,6 +496,7 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
+        self._tcache_t = -1.0  # the sweep below may drop buckets
         if self._tie_break is not None:
             queue = self._legacy_queue
             while queue and queue[0][3] is None:
@@ -451,14 +580,29 @@ class Environment:
             raise event._value
 
     def _drain_all(self) -> None:
-        """The hot loop: run every pending event until the queue dries.
+        """Run every pending event until the queue dries.
 
-        This is the pure scheduling kernel with an inlined copy of the
+        Dispatches to the fused kernel loop (:func:`repro.sim.kernel.drain`)
+        unless it is disabled or an observer (race tracker / sanitizer)
+        is installed — observers get the reference loop, whose per-event
+        hook points are the observable contract.  Both loops process
+        events in identical order.
+        """
+        if self._kernel and _rh.tracker is None:
+            _kernel.drain(self)
+        else:
+            self._drain_reference()
+
+    def _drain_reference(self) -> None:
+        """The reference hot loop: batched drain with inlined dispatch.
+
+        This is the pure scheduling loop with an inlined copy of the
         callback dispatch (`Event._process` + the failure surfacing of
         :meth:`_dispatch`): at millions of events per run, the method
         call layers are a measurable fraction of total wall time.  Any
         semantic change here must be mirrored in :meth:`step` /
-        :meth:`_dispatch`, which stay the readable reference versions.
+        :meth:`_dispatch` and in :func:`repro.sim.kernel.drain` (the
+        fused production loop), which must stay order-identical.
 
         Batching: the current-instant agenda list is swapped out whole
         and walked with a bare ``for`` (one container op per batch, not
@@ -524,6 +668,10 @@ class Environment:
                     callback(event)
                 callbacks = event._cbs
                 if callbacks is not None:
+                    # cleared so a processed *handle* (reuse mode) can be
+                    # recycled without re-checking overflow callbacks; the
+                    # reference semantics (_process) clear here anyway
+                    event._cbs = None
                     for callback in callbacks:
                         callback(event)
                 if not event._ok and not event._defused:

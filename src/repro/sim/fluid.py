@@ -62,6 +62,7 @@ import math
 import os
 import typing as _t
 from itertools import count
+from time import perf_counter as _perf_counter
 
 from repro.errors import SimulationError
 from repro.sim.environment import Environment
@@ -86,6 +87,21 @@ SOLVERS = ("incremental", "full", "vectorized")
 #: below this flows*links size the vectorized solver uses the scalar
 #: kernel — numpy array setup costs more than it saves on tiny components
 _VEC_MIN_CELLS = 32
+
+#: flow-set-signature memo bound (entries); FIFO eviction.  Steady-state
+#: applications cycle through a handful of phase configurations, so a few
+#: hundred entries cover every realistic phase alphabet while bounding
+#: worst-case memory on adversarial workloads.
+_MEMO_MAX = 512
+
+
+def default_memo() -> bool:
+    """Whether new networks memoize solves (``$REPRO_SOLVER_MEMO``).
+
+    Defaults to on; set ``REPRO_SOLVER_MEMO=0`` to disable (the property
+    suite runs the cross-check both ways).
+    """
+    return os.environ.get("REPRO_SOLVER_MEMO", "1") != "0"
 
 
 def default_solver() -> str:
@@ -181,12 +197,15 @@ class Flow:
 class FluidNetwork:
     """The set of links plus the progressive-filling rate solver."""
 
-    def __init__(self, env: Environment, *, solver: str | None = None):
+    def __init__(self, env: Environment, *, solver: str | None = None,
+                 memo: bool | None = None):
         if solver is None:
             solver = default_solver()
         if solver not in SOLVERS:
             raise SimulationError(
                 f"unknown fluid solver {solver!r}; choose from {SOLVERS}")
+        if memo is None:
+            memo = default_memo()
         self.env = env
         self.solver = solver
         # "vectorized" shares the incremental dirty/flush scheduling and
@@ -210,8 +229,23 @@ class FluidNetwork:
         #: total bytes moved to completion through this network
         self.completed_bytes = 0.0
         self.completed_flows = 0
-        #: solver invocations, for the perf regression harness
+        #: rate-kernel invocations (memo hits do NOT count: no kernel ran)
         self.solves = 0
+        #: wall-clock seconds spent inside _solve (kernel + memo machinery)
+        self.solve_wall_s = 0.0
+        # Flow-set-signature memo (incremental/vectorized only; the full
+        # solver stays the unmemoized oracle).  Max-min rates depend only
+        # on the component's *structure* — link capacities, per-flow
+        # (weight, max_rate, link incidence) and the per-link membership
+        # order the freeze loops walk — never on remaining bytes, so
+        # identical configurations can replay the cached rate vector.
+        # Content keying subsumes invalidation: any topology or demand
+        # mutation (capacity, weight, max_rate, membership) changes the
+        # signature and simply misses.
+        self._memo_enabled = bool(memo) and solver != "full"
+        self._memo: dict[tuple, tuple[float, ...]] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     # -- topology -------------------------------------------------------------
 
@@ -403,6 +437,45 @@ class FluidNetwork:
 
     # -- the max-min solve -----------------------------------------------------
 
+    def _signature(self, flows_l: list[Flow],
+                   links_l: list[Link]) -> tuple:
+        """Canonical content key of a solve's component.
+
+        Captures everything the rate kernels read, in the exact iteration
+        order they read it: link capacities (in ``links`` order), per-flow
+        ``(weight, max_rate, link indices)`` (in ``flows`` order) and each
+        link's membership as flow indices (in ``link.flows`` insertion
+        order — the freeze loops walk that order, and float subtraction
+        order shapes the low bits of the computed rates).  Two isomorphic
+        configurations therefore share one entry, and the replayed vector
+        is bit-identical to what the kernel would recompute.
+        """
+        # One flat tuple instead of nested per-flow tuples: this runs on
+        # every solve request (hit or miss), and the flat encoding halves
+        # the allocation + hash-dispatch cost.  The two count prefixes and
+        # the -1 row terminators make the encoding parseable left-to-right
+        # (no field can be -1: capacities/weights > 0, max_rate/indices
+        # >= 0), hence injective over configurations.
+        parts: list = [len(links_l), len(flows_l)]
+        append = parts.append
+        link_idx = {}
+        for j, link in enumerate(links_l):
+            link_idx[id(link)] = j
+            append(link.capacity)
+        flow_idx = {}
+        for i, f in enumerate(flows_l):
+            flow_idx[id(f)] = i
+            append(f.weight)
+            append(f.max_rate)
+            for l in f.links:
+                append(link_idx[id(l)])
+            append(-1)
+        for link in links_l:
+            for f in link.flows:
+                append(flow_idx[id(f)])
+            append(-1)
+        return tuple(parts)
+
     def _solve(self, flows: _t.Iterable[Flow], links: _t.Iterable[Link]) -> None:
         """Weighted max-min fair allocation via progressive filling.
 
@@ -411,6 +484,32 @@ class FluidNetwork:
         ``max_rate`` is honoured by treating it as a candidate bottleneck
         alongside its links.
         """
+        t0 = _perf_counter()
+        if self._memo_enabled:
+            flows_l = list(flows)
+            links_l = list(links)
+            key = self._signature(flows_l, links_l)
+            memo = self._memo
+            rates = memo.get(key)
+            if rates is not None:
+                self.memo_hits += 1
+                for f, r in zip(flows_l, rates):
+                    f._rate = r
+                self.solve_wall_s += _perf_counter() - t0
+                return
+            self.memo_misses += 1
+            self._dispatch_solve(flows_l, links_l)
+            if len(memo) >= _MEMO_MAX:
+                del memo[next(iter(memo))]  # FIFO: oldest insertion first
+            memo[key] = tuple(f._rate for f in flows_l)
+            self.solve_wall_s += _perf_counter() - t0
+            return
+        self._dispatch_solve(flows, links)
+        self.solve_wall_s += _perf_counter() - t0
+
+    def _dispatch_solve(self, flows: _t.Iterable[Flow],
+                        links: _t.Iterable[Link]) -> None:
+        """Run the configured rate kernel (counted as one solve)."""
         self.solves += 1
         if self._vectorized and _np is not None:
             flows_l = list(flows)

@@ -21,9 +21,19 @@ import typing as _t
 from repro.errors import ProcessKilled, SimulationError
 from repro.race import hooks as _rh
 from repro.sim.environment import URGENT, Environment
-from repro.sim.events import Event, PENDING
+from repro.sim.events import Event, PENDING, Timeout
 
 __all__ = ["Process"]
+
+#: hoisted allocator for the reusable handle event (see Process._handle)
+_new_timeout = Timeout.__new__
+
+#: every reusable handle shares this one name *object*; the kernel loop
+#: recognises handles by identity (``event.name is HANDLE_NAME``), which
+#: lets it skip the type/_ok checks of the general dispatch path.  Built
+#: via join so it is NOT the interned literal — a user event created with
+#: ``name="proc.handle"`` can never alias it.
+HANDLE_NAME = "".join(("proc.", "handle"))
 
 
 class _Init(Event):
@@ -41,7 +51,8 @@ class _Init(Event):
 class Process(Event):
     """A running generator coroutine inside the simulation."""
 
-    __slots__ = ("generator", "_target", "_send", "_throw", "_resume_cb")
+    __slots__ = ("generator", "_target", "_send", "_throw", "_resume_cb",
+                 "_handle")
 
     def __init__(self, env: Environment, generator: _t.Generator, name: str = ""):
         if not hasattr(generator, "throw"):
@@ -51,16 +62,38 @@ class Process(Event):
         super().__init__(env, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
         # bound methods cached once: _resume runs per event on the hottest
-        # loop in the simulator, and send/throw lookups add up.  The bound
-        # _resume itself is cached too — ``self._resume`` allocates a fresh
-        # method object per access, once per simulated event otherwise
+        # loop in the simulator, and send/throw lookups add up.  The process
+        # itself is callable (``__call__ = _resume``), so it is its own
+        # resume callback: the kernel loop recognises a process waiter by
+        # type and fuses the resume, and no method object is ever allocated
         self._send = generator.send
         self._throw = generator.throw
-        self._resume_cb = self._resume
+        self._resume_cb = self
         #: the event this process is currently waiting on (None if running/finished)
         self._target: Event | None = None
+        if env._reuse:
+            # The process's private *handle*: a recyclable event the
+            # factories (Store.get / Resource.request / env.timeout) hand
+            # back instead of a fresh allocation when this process calls
+            # them during its own turn.  Ownership contract (opt-in via
+            # Environment(reuse_handles=True)): the awaited event may not
+            # be retained past the resume — keep the delivered value, not
+            # the event object.  Born processed=True: "ready for reuse".
+            handle = _new_timeout(Timeout)
+            handle.env = env
+            handle.name = HANDLE_NAME
+            handle._cb0 = None
+            handle._cbs = None
+            handle._ok = True
+            handle._value = None
+            handle._processed = True
+            handle._cancelled = False
+            handle.delay = 0.0
+            self._handle = handle
+        else:
+            self._handle = None
         env.register_process(self)
-        _Init(env).add_callback(self._resume_cb)
+        _Init(env).add_callback(self)
 
     @property
     def is_alive(self) -> bool:
@@ -131,11 +164,17 @@ class Process(Event):
             # callbacks either — add_callback always fills _cb0 first and
             # only processing clears it — so _cbs needs no check here.
             if next_event._cb0 is None and not next_event._processed:
-                next_event._cb0 = self._resume_cb
+                next_event._cb0 = self
             else:
-                next_event.add_callback(self._resume_cb)
+                next_event.add_callback(self)
         except AttributeError:
             self._target = None
             raise SimulationError(
                 f"process {self.name!r} yielded {next_event!r}; processes may "
                 "only yield Event instances") from None
+
+    # The process is its own resume callback: generic dispatch paths call
+    # ``event._cb0(event)`` without caring whether the waiter is a plain
+    # function or a process, and the kernel loop fuses the resume after a
+    # single ``type(callback) is Process`` check.
+    __call__ = _resume

@@ -33,16 +33,13 @@ class Store:
     the next item (immediately if one is queued).  Getters are served FIFO.
     """
 
-    __slots__ = ("env", "name", "_items", "_getters", "total_puts",
-                 "total_gets", "_get_name")
+    __slots__ = ("env", "name", "_items", "_getters", "_get_name")
 
     def __init__(self, env: Environment, name: str = "store"):
         self.env = env
         self.name = name
         self._items: deque[_t.Any] = deque()
         self._getters: deque[Event] = deque()
-        self.total_puts = 0
-        self.total_gets = 0
         # get() runs once per runtime message; formatting the event name
         # there would dominate the fast path, so build it once
         self._get_name = f"{name}.get"
@@ -56,14 +53,20 @@ class Store:
         return tuple(self._items)
 
     def put(self, item: _t.Any) -> None:
-        self.total_puts += 1
-        if self._getters:
+        getters = self._getters
+        if getters:
             # inlined Event.succeed() minus its already-triggered guard: a
             # parked getter is untriggered by construction.  put() runs
             # once per runtime message; the call layers were measurable.
-            ev = self._getters.popleft()
+            ev = getters.popleft()
             ev._value = item
-            env = ev.env
+            env = self.env
+            if env._in_kernel:
+                # inside a kernel drain: no tie-breaker or observer can
+                # be active, and the NORMAL domain is uncounted — skip
+                # their checks on the per-message hot path
+                env._agenda_normal.append(ev)
+                return
             if env._tie_break is None:
                 env._agenda_normal.append(ev)
                 env._live += 1
@@ -81,6 +84,34 @@ class Store:
 
     def get(self) -> Event:
         env = self.env
+        proc = env._current
+        if proc is not None:
+            # recycle the resuming process's private handle (reuse_handles
+            # mode, see Process._handle): three slot resets replace the
+            # allocation + eight-store init below.  _current is published
+            # only by the fused kernel loop, which never runs with an
+            # observer or tie-breaker installed and whose NORMAL domain
+            # is uncounted — the tracker/tie-break/_live branches of the
+            # general path below are statically dead here.  _cb0 keeps
+            # naming the owner (the kernel attach relies on it); _cbs
+            # needs no reset — every drain loop clears it at processing
+            # time, so a processed handle never carries overflow
+            # callbacks.  The
+            # parked branch must restore _value = PENDING: conditions
+            # (all_of/any_of) read ``triggered`` at construction, and a
+            # stale value would make a parked handle look already fired.
+            ev = proc._handle
+            if ev._processed:
+                ev._processed = False
+                ev._cb0 = proc
+                items = self._items
+                if items:
+                    ev._value = items.popleft()
+                    env._agenda_normal.append(ev)
+                else:
+                    ev._value = PENDING
+                    self._getters.append(ev)
+                return ev
         # inlined Event(env, self._get_name): the constructor call frame
         # and the name= keyword cost ~250ns per event at this call rate
         ev = _new_event(Event)
@@ -91,7 +122,6 @@ class Store:
         ev._ok = True
         ev._processed = False
         ev._cancelled = False
-        self.total_gets += 1
         if self._items:
             item = self._items.popleft()
             tracker = _rh.tracker
@@ -99,7 +129,9 @@ class Store:
                 tracker.on_handoff_get(item)
             # inlined Event.succeed() (see put()); ev is freshly created
             ev._value = item
-            if env._tie_break is None:
+            if env._in_kernel:
+                env._agenda_normal.append(ev)
+            elif env._tie_break is None:
                 env._agenda_normal.append(ev)
                 env._live += 1
                 if tracker is not None:
@@ -114,7 +146,6 @@ class Store:
     def try_get(self) -> _t.Any | None:
         """Non-blocking pop; returns None when empty."""
         if self._items:
-            self.total_gets += 1
             item = self._items.popleft()
             if _rh.tracker is not None:
                 _rh.tracker.on_handoff_get(item)
@@ -141,7 +172,6 @@ class PriorityStore(Store):
 
     def put(self, item: _t.Any, priority: _t.Any = None) -> None:
         key = item if priority is None else priority
-        self.total_puts += 1
         if self._getters:
             self._getters.popleft().succeed(item)
         else:
@@ -151,7 +181,6 @@ class PriorityStore(Store):
 
     def get(self) -> Event:
         ev = Event(self.env, name=self._get_name)
-        self.total_gets += 1
         if self._heap:
             item = heapq.heappop(self._heap)[2]
             if _rh.tracker is not None:
@@ -163,7 +192,6 @@ class PriorityStore(Store):
 
     def try_get(self) -> _t.Any | None:
         if self._heap:
-            self.total_gets += 1
             item = heapq.heappop(self._heap)[2]
             if _rh.tracker is not None:
                 _rh.tracker.on_handoff_get(item)
@@ -204,6 +232,23 @@ class Resource:
 
     def request(self) -> Event:
         env = self.env
+        proc = env._current
+        if proc is not None:
+            # recycle the caller's handle — see Store.get() (the tracker /
+            # tie-break/_live branches below are statically dead here too)
+            ev = proc._handle
+            if ev._processed:
+                ev._processed = False
+                ev._cb0 = proc
+                in_use = self._in_use
+                if in_use < self.capacity:
+                    self._in_use = in_use + 1
+                    ev._value = None
+                    env._agenda_normal.append(ev)
+                else:
+                    ev._value = PENDING
+                    self._waiters.append(ev)
+                return ev
         # inlined Event(env, self._req_name) — see Store.get()
         ev = _new_event(Event)
         ev.env = env
@@ -216,7 +261,10 @@ class Resource:
         if self._in_use < self.capacity:
             self._in_use += 1
             # inlined Event.succeed() (see Store.put()); ev is fresh
-            if env._tie_break is None:
+            if env._in_kernel:
+                ev._value = None
+                env._agenda_normal.append(ev)
+            elif env._tie_break is None:
                 ev._value = None
                 env._agenda_normal.append(ev)
                 env._live += 1
@@ -233,11 +281,17 @@ class Resource:
     def release(self) -> None:
         if self._in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
-        if self._waiters:
+        waiters = self._waiters
+        if waiters:
             # inlined Event.succeed() (see Store.put()): a parked waiter is
             # untriggered by construction
-            ev = self._waiters.popleft()
-            env = ev.env
+            ev = waiters.popleft()
+            env = self.env
+            if env._in_kernel:
+                # inside a kernel drain — see Store.put()
+                ev._value = None
+                env._agenda_normal.append(ev)
+                return
             if env._tie_break is None:
                 ev._value = None
                 env._agenda_normal.append(ev)

@@ -13,7 +13,7 @@ MODULES = [
     "repro.errors", "repro.units",
     "repro.sim", "repro.sim.events", "repro.sim.environment",
     "repro.sim.process", "repro.sim.sync", "repro.sim.resources",
-    "repro.sim.fluid", "repro.sim.rand",
+    "repro.sim.fluid", "repro.sim.rand", "repro.sim.kernel",
     "repro.mem", "repro.mem.block", "repro.mem.device", "repro.mem.allocator",
     "repro.mem.topology", "repro.mem.mover", "repro.mem.registry",
     "repro.mem.cache",

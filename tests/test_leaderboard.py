@@ -1,0 +1,149 @@
+"""The strategy leaderboard: plans, ranking fold, CLI integration."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.harness import Scale
+from repro.bench.leaderboard import (LEADERBOARD_APPS, leaderboard_plans,
+                                     rank_figures, render_leaderboard)
+from repro.cli import main
+from repro.core.strategies import STRATEGIES
+from repro.obs.report import SweepFigure, assemble_sweep, replicate_specs
+from repro.obs.stats import summarize
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestPlans:
+    def test_full_sweep_is_square(self) -> None:
+        plans = leaderboard_plans(Scale.TINY)
+        assert [p.figure for p in plans] == \
+            [f"leaderboard/{app}" for app in LEADERBOARD_APPS]
+        for plan in plans:
+            assert len(plan.specs) == len(STRATEGIES)
+            strategies = [spec.params["strategy"] for spec in plan.specs]
+            assert strategies == sorted(STRATEGIES)
+
+    def test_working_sets_fit_scaled_hbm(self) -> None:
+        # hbm-only refuses overflow working sets; every cell must fit
+        for plan in leaderboard_plans(Scale.TINY):
+            for spec in plan.specs:
+                p = spec.params
+                if spec.kind == "stencil":
+                    ws = p["total"]
+                elif spec.kind == "matmul":
+                    ws = p["working_set"]
+                elif spec.kind == "spmv":
+                    ws = p["block_rows"] * p["block_bytes"]
+                else:
+                    ws = 3 * p["array_bytes"] * p["chares"]
+                assert ws <= p["mcdram"], (spec.kind, ws, p["mcdram"])
+
+    def test_unknown_app_raises(self) -> None:
+        with pytest.raises(ValueError, match="unknown leaderboard app"):
+            leaderboard_plans(Scale.TINY, apps=["jacobi"])
+
+
+def _sweep(x: str, rows: dict[str, list[float]],
+           replicates: int) -> SweepFigure:
+    values = {x: rows}
+    return SweepFigure(
+        figure=f"leaderboard/{x}", description=x, unit="s",
+        replicates=replicates, baseline=None, values=values,
+        stats={x: {k: summarize(v) for k, v in rows.items()}},
+        tests={x: {k: None for k in rows}})
+
+
+class TestRanking:
+    def test_geomean_slowdown_and_rank_order(self) -> None:
+        figures = [
+            _sweep("app1", {"a": [1.0], "b": [2.0]}, 1),
+            _sweep("app2", {"a": [4.0], "b": [2.0]}, 1),
+        ]
+        summary = rank_figures(figures)
+        # a: geomean(1.0, 2.0) = sqrt(2); b: geomean(2.0, 1.0) = sqrt(2)
+        for label in ("a", "b"):
+            score = summary.stats[label]["slowdown"].mean
+            assert score == pytest.approx(math.sqrt(2.0))
+
+    def test_best_everywhere_ranks_first_at_1x(self) -> None:
+        figures = [
+            _sweep("app1", {"fast": [1.0, 1.1], "slow": [3.0, 3.3]}, 2),
+            _sweep("app2", {"fast": [5.0, 5.5], "slow": [10.0, 11.0]}, 2),
+        ]
+        summary = rank_figures(figures)
+        labels = list(summary.stats)
+        assert labels == ["fast", "slow"]
+        assert summary.stats["fast"]["slowdown"].mean == pytest.approx(1.0)
+        # slowdowns are computed within each replicate, so the constant
+        # ratio yields a zero-spread sample despite noisy absolute times
+        assert summary.stats["slow"]["slowdown"].mean == \
+            pytest.approx(math.sqrt(3.0 * 2.0))
+
+    def test_render_mentions_every_strategy_ranked(self) -> None:
+        figures = [_sweep("app1", {"x": [2.0], "y": [1.0]}, 1)]
+        summary = rank_figures(figures)
+        text = render_leaderboard(summary, figures)
+        lines = text.splitlines()
+        assert any(line.lstrip().startswith("1  y") for line in lines)
+        assert any(line.lstrip().startswith("2  x") for line in lines)
+
+    def test_empty_figures_raise(self) -> None:
+        with pytest.raises(ValueError):
+            rank_figures([])
+
+
+class TestEndToEnd:
+    def test_replicated_sweep_assembles_and_ranks(self) -> None:
+        from repro.exec import run_specs
+
+        plans = leaderboard_plans(Scale.TINY, apps=["stream"],
+                                  strategies=["hbm-only", "ddr-only"],
+                                  iterations=1)
+        specs = replicate_specs(plans, 2)
+        results = run_specs(specs, jobs=1, cache=None)
+        assert all(r.ok for r in results), [r.error for r in results]
+        figures = assemble_sweep(plans, 2, [r.result for r in results])
+        summary = rank_figures(figures)
+        assert list(summary.stats) == ["hbm-only", "ddr-only"]
+        assert summary.stats["hbm-only"]["slowdown"].mean == \
+            pytest.approx(1.0)
+        assert summary.stats["ddr-only"]["slowdown"].mean > 1.0
+
+
+class TestCLI:
+    def test_leaderboard_ranks_and_writes_html(self, capsys,
+                                               tmp_path) -> None:
+        out = tmp_path / "lb.html"
+        code, stdout, stderr = run_cli(capsys, [
+            "leaderboard", "--scale", "tiny", "--replicates", "2",
+            "--iterations", "1", "--apps", "stencil", "stream",
+            "--baseline", "multi-io", "-o", str(out), "--no-cache"])
+        assert code == 0
+        assert "== repro leaderboard:" in stdout
+        for strategy in STRATEGIES:
+            assert strategy in stdout
+        assert "significant vs baseline multi-io" in stdout
+        html = out.read_text()
+        assert "leaderboard/stencil" in html and "geometric-mean" in html
+        assert "written to" in stderr
+
+    def test_unknown_app_exits_2(self, capsys, tmp_path) -> None:
+        code, _, err = run_cli(capsys, [
+            "leaderboard", "--scale", "tiny", "--apps", "jacobi",
+            "-o", str(tmp_path / "lb.html")])
+        assert code == 2 and "jacobi" in err
+
+    def test_baseline_must_be_swept(self, capsys, tmp_path) -> None:
+        code, _, err = run_cli(capsys, [
+            "leaderboard", "--scale", "tiny",
+            "--strategies", "hbm-only", "ddr-only",
+            "--baseline", "multi-io", "-o", str(tmp_path / "lb.html")])
+        assert code == 2 and "multi-io" in err

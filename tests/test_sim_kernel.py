@@ -1,0 +1,308 @@
+"""Kernel drain loop vs reference loop: equivalence and handle semantics.
+
+The fused kernel (:mod:`repro.sim.kernel`) and the reference loop
+(:meth:`Environment._drain_reference`) must produce identical simulations;
+``reuse_handles=True`` additionally recycles each process's private handle
+event through the factories.  These tests run one mixed workload — stores,
+resources, timeouts, conditions, interrupts, mid-run spawns, failures —
+under every loop/mode combination and require identical traces, then pin
+down the handle-specific corners (identity recycling, condition parking,
+cancellation, name aliasing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ProcessKilled, SimulationError
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+from repro.sim.process import HANDLE_NAME
+from repro.sim.resources import Resource, Store
+
+
+def _mixed_workload(env: Environment) -> list:
+    """A workload touching every dispatch path; returns its event trace."""
+    trace: list = []
+    store: Store = Store(env, name="s")
+    spill: Store = Store(env, name="spill")
+    res = Resource(env, capacity=2, name="r")
+
+    def producer():
+        for k in range(6):
+            store.put(k)
+            yield env.timeout(1.0)
+        spill.put("late")
+
+    def consumer(tag):
+        while True:
+            item = yield store.get()
+            trace.append((env.now, tag, "got", item))
+            if item >= 4:
+                return item
+            yield res.request()
+            yield env.timeout(0.25)
+            res.release()
+
+    def condition_waiter():
+        # parks a factory event inside a condition (AllOf) — in reuse mode
+        # this routes the handle through the overflow-callback path
+        got = yield env.all_of([spill.get(), env.timeout(9.0)])
+        trace.append((env.now, "cond", sorted(map(str, got.values()))))
+
+    def any_waiter():
+        first = yield env.any_of([env.timeout(2.5, "quick"),
+                                  env.timeout(50.0, "slow")])
+        trace.append((env.now, "any", sorted(map(str, first.values()))))
+
+    def crasher():
+        yield env.timeout(3.0)
+        raise RuntimeError("boom")
+
+    def guardian():
+        victim = env.process(crasher(), name="crasher")
+        try:
+            yield victim
+        except RuntimeError as exc:
+            trace.append((env.now, "guard", str(exc)))
+
+    def interrupter():
+        target = env.process(sleeper(), name="sleeper")
+        yield env.timeout(1.5)
+        target.interrupt("wake")
+
+    def sleeper():
+        try:
+            yield env.timeout(40.0)
+        except ProcessKilled as exc:
+            trace.append((env.now, "killed", str(exc)))
+
+    def spawner():
+        # urgent bootstrap arriving mid-batch: the kernel must preempt
+        yield env.timeout(2.0)
+        for i in range(3):
+            env.process(late_child(i), name=f"late{i}")
+            yield env.timeout(0.0)
+
+    def late_child(i):
+        yield env.timeout(0.5)
+        trace.append((env.now, "late", i))
+
+    def canceller():
+        doomed = env.timeout(7.0)
+        kept = env.timeout(0.75)
+        assert env.cancel(doomed)
+        got = yield kept
+        trace.append((env.now, "cancel", got))
+
+    def chain_parent():
+        child = env.process(chain_child(), name="chain-child")
+        value = yield child
+        trace.append((env.now, "chain", value))
+
+    def chain_child():
+        yield env.timeout(4.5)
+        return "child-done"
+
+    for i in range(2):
+        env.process(consumer(f"c{i}"), name=f"c{i}")
+    for fn in (producer, condition_waiter, any_waiter, guardian,
+               interrupter, spawner, canceller, chain_parent):
+        env.process(fn(), name=fn.__name__)
+    env.run()
+    trace.append(("end", env.now))
+    return trace
+
+
+ENV_MODES = [
+    pytest.param(dict(), id="kernel-plain"),
+    pytest.param(dict(kernel=False), id="reference"),
+    pytest.param(dict(reuse_handles=True), id="kernel-reuse"),
+    pytest.param(dict(reuse_handles=True, kernel=False), id="reference-reuse"),
+]
+
+
+@pytest.mark.parametrize("mode", ENV_MODES[1:])
+def test_all_loop_modes_produce_identical_traces(mode) -> None:
+    reference = _mixed_workload(Environment())
+    assert _mixed_workload(Environment(**mode)) == reference
+
+
+def test_env_var_disables_kernel(monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "0")
+    env = Environment()
+    assert not env._kernel
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "1")
+    assert Environment()._kernel
+
+
+def test_live_counter_exact_after_kernel_run() -> None:
+    for mode in (dict(), dict(reuse_handles=True)):
+        env = Environment(**mode)
+        _mixed_workload(env)
+        assert env._live == 0
+
+
+def test_reuse_recycles_one_handle_per_process() -> None:
+    env = Environment(reuse_handles=True)
+    store = Store(env)
+    ids: list[int] = []
+
+    def worker():
+        for k in range(4):
+            ev = store.get()
+            ids.append(id(ev))
+            item = yield ev
+            assert item == k
+            t = env.timeout(0.5)
+            ids.append(id(t))
+            yield t
+
+    def feeder():
+        for k in range(4):
+            store.put(k)
+            yield env.timeout(1.0)
+
+    env.process(worker())
+    env.process(feeder())
+    env.run()
+    # the first get() runs during the URGENT bootstrap turn (outside the
+    # fused NORMAL batch) and allocates fresh; every later factory event
+    # the worker awaited is the same recycled handle object
+    assert len(set(ids[1:])) == 1
+    assert len(set(ids)) <= 2
+
+
+def test_reuse_handle_carries_the_shared_name() -> None:
+    env = Environment(reuse_handles=True)
+    captured: list = []
+
+    def worker():
+        yield env.timeout(1.0)  # bootstrap turn: allocated fresh
+        ev = env.timeout(1.0)   # fused turn: the recycled handle
+        captured.append(ev)
+        yield ev
+
+    env.process(worker())
+    env.run()
+    assert captured[0].name is HANDLE_NAME
+
+
+def test_user_event_named_like_a_handle_is_not_mistaken() -> None:
+    # HANDLE_NAME is deliberately not the interned literal: a user event
+    # carrying the same *text* must still dispatch via the generic branch
+    env = Environment(reuse_handles=True)
+    fired: list = []
+    ev = Event(env, name="proc.handle")
+    assert ev.name is not HANDLE_NAME
+    ev.add_callback(lambda e: fired.append(e.value))
+    ev.succeed("ok")
+    env.run()
+    assert fired == ["ok"]
+
+
+def test_reuse_condition_over_factory_events() -> None:
+    # one factory call per turn recycles the handle; the second allocates
+    # fresh — the condition must still collect both values correctly
+    env = Environment(reuse_handles=True)
+    out: list = []
+    store = Store(env)
+
+    def worker():
+        got = yield env.all_of([store.get(), env.timeout(2.0, "t")])
+        out.append(sorted(map(str, got.values())))
+
+    def feeder():
+        yield env.timeout(1.0)
+        store.put("item")
+
+    env.process(worker())
+    env.process(feeder())
+    env.run()
+    assert out == [[sorted(["item", "t"])[0], sorted(["item", "t"])[1]]]
+
+
+def test_reuse_interrupt_while_parked_then_stale_fire() -> None:
+    # the parked handle stays in the store queue after the interrupt; when
+    # put() finally fires it the kernel must drop it (owner moved on) —
+    # matching the reference loop's dead-process check
+    env = Environment(reuse_handles=True)
+    out: list = []
+    store = Store(env)
+
+    def victim():
+        try:
+            yield store.get()
+            out.append("resumed")  # pragma: no cover - must not happen
+        except ProcessKilled:
+            out.append("killed")
+            yield env.timeout(5.0)
+            out.append("continued")
+
+    def killer(proc):
+        yield env.timeout(1.0)
+        proc.interrupt()
+        yield env.timeout(1.0)
+        store.put("stale")
+
+    p = env.process(victim())
+    env.process(killer(p))
+    env.run()
+    assert out == ["killed", "continued"]
+
+
+def test_reuse_cancelled_handle_is_never_recycled() -> None:
+    env = Environment(reuse_handles=True)
+    seen: list = []
+
+    def worker():
+        yield env.timeout(0.5)  # leave the bootstrap turn (fresh events)
+        doomed = env.timeout(3.0)  # the recycled handle
+        assert doomed.name is HANDLE_NAME
+        assert env.cancel(doomed)
+        nxt = env.timeout(1.0)
+        assert nxt is not doomed  # cancelled handle is permanently retired
+        yield nxt
+        later = env.timeout(1.0)
+        assert later is not doomed
+        yield later
+        seen.append(env.now)
+
+    env.process(worker())
+    env.run()
+    assert seen == [2.5]
+
+
+def test_reuse_failure_surfacing_matches_reference() -> None:
+    def scenario(env):
+        def worker():
+            yield env.timeout(1.0)
+            raise ValueError("unhandled")
+        env.process(worker())
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+        return env.now
+
+    assert (scenario(Environment(reuse_handles=True))
+            == scenario(Environment(kernel=False)))
+
+
+def _canon(result) -> bytes:
+    return json.dumps(dataclasses.asdict(result), sort_keys=True,
+                      default=repr).encode()
+
+
+def test_fig2_fig8_tables_byte_identical_kernel_on_off(monkeypatch) -> None:
+    """The flagship tables must not change when the kernel is disabled."""
+    from repro.bench.experiments import (fig2_stencil_fits_in_hbm,
+                                         fig8_stencil_speedup)
+
+    monkeypatch.delenv("REPRO_SIM_KERNEL", raising=False)
+    fig2_on = _canon(fig2_stencil_fits_in_hbm())
+    fig8_on = _canon(fig8_stencil_speedup())
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "0")
+    assert _canon(fig2_stencil_fits_in_hbm()) == fig2_on
+    assert _canon(fig8_stencil_speedup()) == fig8_on
